@@ -1,0 +1,125 @@
+// Fig.9 — Impact of attachment latency on post-handover throughput.
+//
+// CellBricks runs with the MPTCP 500 ms address_worker wait removed and
+// attachment latency d in {32, 64, 128} ms (realized by moving brokerd so
+// the SAP round-trip produces that d), plus the unmodified 500 ms variant.
+// For each window of n seconds after a handover, throughput is normalized
+// to the TCP/MNO baseline of the same geometry — the paper's finding: lower
+// d recovers faster, and without the wait CellBricks routinely OVERSHOOTS
+// TCP (>100%) in the first seconds after handover thanks to slow-start.
+#include <cstdio>
+#include <vector>
+
+#include "apps/iperf.hpp"
+#include "scenario/world.hpp"
+
+using namespace cb;
+using namespace cb::scenario;
+
+namespace {
+
+constexpr int kWindows = 9;
+
+struct Run {
+  std::vector<double> bytes_100ms;  // 100 ms buckets
+  std::vector<double> handovers_s;
+};
+
+Run run(Architecture arch, Duration cloud_rtt, Duration wait, std::uint64_t seed) {
+  WorldConfig cfg;
+  cfg.arch = arch;
+  cfg.seed = seed;
+  cfg.n_towers = 10;
+  // Night policy: "We measure performance at night so that performance is
+  // less constrained by T-Mobile's rate limits."
+  cfg.route = RouteSpec{"fig9", true, 25.0, 900.0, ran::RatePolicy::night()};
+  cfg.cloud_rtt = cloud_rtt;
+  cfg.mptcp_address_wait = wait;
+  World world(cfg);
+
+  Run out;
+  world.on_cell_change = [&](ran::CellId from, ran::CellId) {
+    if (from != 0) out.handovers_s.push_back(world.simulator().now().to_seconds());
+  };
+  apps::IperfPushServer server(world.server_transport(), 5001, world.simulator(),
+                               Duration::s(400));
+  world.start();
+  world.simulator().run_for(Duration::s(5));
+  apps::IperfDownloadClient client(world.ue_transport(),
+                                   net::EndPoint{world.server_addr(), 5001},
+                                   world.simulator(), Duration::ms(100));
+  world.simulator().run_for(Duration::s(300));
+
+  for (std::size_t i = 0; i < client.series().buckets(); ++i) {
+    out.bytes_100ms.push_back(client.series().bucket(i));
+  }
+  return out;
+}
+
+// Mean throughput (bytes/s) in [h, h+n) seconds.
+double window_rate(const Run& r, double h, int n) {
+  const std::size_t from = static_cast<std::size_t>(h * 10.0);
+  const std::size_t to = from + static_cast<std::size_t>(n) * 10;
+  double sum = 0;
+  for (std::size_t i = from; i < to && i < r.bytes_100ms.size(); ++i) sum += r.bytes_100ms[i];
+  return sum / n;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig.9: relative post-handover throughput vs attachment latency ===\n");
+  std::printf("(CB throughput in the n seconds after each handover, normalized to the\n"
+              " TCP/MNO baseline over the same windows; night policy; mean over handovers)\n\n");
+
+  struct Config {
+    const char* name;
+    Duration cloud_rtt;
+    Duration wait;
+  };
+  // cloud_rtt chosen so d = 24.5 ms processing + RTT hits the target.
+  const Config configs[] = {
+      {"mod. 32ms", Duration::millis(7.5), Duration::zero()},
+      {"mod. 64ms", Duration::millis(39.5), Duration::zero()},
+      {"mod. 128ms", Duration::millis(103.5), Duration::zero()},
+      {"unmod.(500ms wait)", Duration::millis(7.5), Duration::ms(500)},
+  };
+
+  const Run baseline = run(Architecture::Mno, Duration::millis(7.5), Duration::zero(), 9);
+  // Overall baseline rate, for excluding degenerate windows (the MNO
+  // baseline has its own brief handover dips; normalizing by a near-zero
+  // window would explode the ratio — the paper's real-network baseline did
+  // not stall at the emulated UE's handover instants).
+  double base_total = 0;
+  for (double v : baseline.bytes_100ms) base_total += v;
+  const double base_mean =
+      base_total / (static_cast<double>(baseline.bytes_100ms.size()) / 10.0);
+
+  std::printf("%-20s", "elapsed since HO:");
+  for (int n = 1; n <= kWindows; ++n) std::printf("   %2ds", n);
+  std::printf("\n");
+
+  for (const Config& c : configs) {
+    const Run cb = run(Architecture::CellBricks, c.cloud_rtt, c.wait, 9);
+    std::printf("%-20s", c.name);
+    for (int n = 1; n <= kWindows; ++n) {
+      double rel_sum = 0;
+      int count = 0;
+      for (double h : cb.handovers_s) {
+        const double base = window_rate(baseline, h, n);
+        const double mine = window_rate(cb, h, n);
+        if (base > 0.2 * base_mean) {  // skip degenerate baseline windows
+          rel_sum += mine / base * 100.0;
+          ++count;
+        }
+      }
+      std::printf(" %5.0f", count ? rel_sum / count : 0.0);
+    }
+    std::printf("   (%% of TCP, %zu handovers)\n", cb.handovers_s.size());
+  }
+
+  std::printf("\nShape check (paper Fig.9): lower d => faster recovery; modified variants\n"
+              "reach/exceed 100%% within a few seconds (slow-start overshoot: 10-30%% above\n"
+              "TCP right after handover); the unmodified 500 ms wait lags behind early on.\n");
+  return 0;
+}

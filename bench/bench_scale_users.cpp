@@ -1,0 +1,41 @@
+// Scaling benchmark — the §6 claim that CellBricks "scales to a large
+// number of users under different radio conditions": an attach storm of N
+// concurrent UEs against one bTelco/brokerd (and the EPC baseline), plus a
+// control-path loss sweep exercising the SAP retransmission machinery.
+#include <cstdio>
+
+#include "scenario/attach_experiment.hpp"
+
+using namespace cb;
+using namespace cb::scenario;
+
+int main() {
+  std::printf("=== Scale: N simultaneous attach requests (one cell, brokerd at "
+              "us-west RTT) ===\n\n");
+  std::printf("%6s %-4s %12s %12s %10s\n", "N UEs", "arch", "mean(ms)", "p99(ms)",
+              "completed");
+  for (int n : {1, 10, 50, 100, 200}) {
+    for (Architecture arch : {Architecture::Mno, Architecture::CellBricks}) {
+      const AttachStorm s =
+          run_attach_storm(arch, n, Duration::millis(7.2), /*control_loss=*/0.0);
+      std::printf("%6d %-4s %12.2f %12.2f %6d/%d\n", n,
+                  arch == Architecture::CellBricks ? "CB" : "BL", s.mean_ms, s.p99_ms,
+                  s.completed, n);
+    }
+  }
+  std::printf("\n(Queueing at the serial control-plane services dominates at high N;\n"
+              " CB queues once at brokerd, BL queues twice at the HSS.)\n");
+
+  std::printf("\n=== Degraded control path: 50 UEs, loss on the tower<->cloud link "
+              "(CellBricks, SAP retransmission active) ===\n\n");
+  std::printf("%8s %12s %12s %10s\n", "loss", "mean(ms)", "p99(ms)", "completed");
+  for (double loss : {0.0, 0.01, 0.05, 0.10}) {
+    const AttachStorm s = run_attach_storm(Architecture::CellBricks, 50,
+                                           Duration::millis(7.2), loss);
+    std::printf("%7.0f%% %12.2f %12.2f %7d/50\n", loss * 100, s.mean_ms, s.p99_ms,
+                s.completed);
+  }
+  std::printf("\n(Lost SAP datagrams are recovered by the bTelco's 1 s retransmission;\n"
+              " completion stays high while tail latency grows with loss.)\n");
+  return 0;
+}

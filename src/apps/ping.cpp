@@ -1,0 +1,70 @@
+#include "apps/ping.hpp"
+
+namespace cb::apps {
+
+PingServer::PingServer(net::Node& node, std::uint16_t port) : node_(node), port_(port) {
+  node_.bind_udp(port_, [this](const net::Packet& p) {
+    net::Packet reply;
+    reply.src = p.dst;
+    reply.dst = p.src;
+    reply.proto = net::Proto::Udp;
+    reply.payload = p.payload;
+    node_.send(std::move(reply));
+  });
+}
+
+PingClient::PingClient(net::Node& node, net::EndPoint server, Duration interval,
+                       Duration timeout)
+    : node_(node), server_(server), interval_(interval), timeout_(timeout) {
+  port_ = node_.alloc_port();
+  node_.bind_udp(port_, [this](const net::Packet& p) {
+    try {
+      ByteReader r(p.payload);
+      const std::uint64_t seq = r.u64();
+      auto it = in_flight_.find(seq);
+      if (it == in_flight_.end()) return;
+      rtts_.add((node_.simulator().now() - it->second).to_millis());
+      in_flight_.erase(it);
+    } catch (const std::out_of_range&) {
+    }
+  });
+}
+
+PingClient::~PingClient() {
+  stop();
+  node_.unbind_udp(port_);
+}
+
+void PingClient::start() {
+  running_ = true;
+  probe();
+}
+
+void PingClient::stop() {
+  running_ = false;
+  timer_.cancel();
+}
+
+void PingClient::probe() {
+  if (!running_) return;
+  const net::Ipv4Addr src = node_.primary_address();
+  if (src.valid()) {  // skip probes while detached (no address)
+    const std::uint64_t seq = seq_++;
+    in_flight_[seq] = node_.simulator().now();
+    ByteWriter w;
+    w.u64(seq);
+    w.raw(Bytes(56, 0));  // standard ping payload size
+    net::Packet p;
+    p.src = net::EndPoint{src, port_};
+    p.dst = server_;
+    p.proto = net::Proto::Udp;
+    p.payload = w.take();
+    node_.send(std::move(p));
+    node_.simulator().schedule(timeout_, [this, seq] {
+      if (in_flight_.erase(seq) > 0) ++lost_;
+    });
+  }
+  timer_ = node_.simulator().schedule(interval_, [this] { probe(); });
+}
+
+}  // namespace cb::apps

@@ -1,0 +1,53 @@
+// UDP echo (ping): RTT percentiles for Table 1's "Ping: p50" column.
+#pragma once
+
+#include <unordered_map>
+
+#include "common/stats.hpp"
+#include "net/node.hpp"
+
+namespace cb::apps {
+
+/// Echo responder: returns every datagram to its source.
+class PingServer {
+ public:
+  PingServer(net::Node& node, std::uint16_t port);
+
+ private:
+  net::Node& node_;
+  std::uint16_t port_;
+};
+
+/// Periodic echo requester. Tolerates the source address changing between
+/// probes (each probe uses the node's current address), so it keeps working
+/// across CellBricks re-attachments.
+class PingClient {
+ public:
+  PingClient(net::Node& node, net::EndPoint server, Duration interval = Duration::s(1),
+             Duration timeout = Duration::s(5));
+  ~PingClient();
+
+  void start();
+  void stop();
+
+  const Summary& rtts_ms() const { return rtts_; }
+  std::uint64_t sent() const { return seq_; }
+  std::uint64_t lost() const { return lost_; }
+
+ private:
+  void probe();
+
+  net::Node& node_;
+  net::EndPoint server_;
+  Duration interval_;
+  Duration timeout_;
+  std::uint16_t port_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t lost_ = 0;
+  Summary rtts_;
+  std::unordered_map<std::uint64_t, TimePoint> in_flight_;
+  sim::EventHandle timer_;
+  bool running_ = false;
+};
+
+}  // namespace cb::apps

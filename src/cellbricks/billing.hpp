@@ -1,0 +1,41 @@
+// Verifiable billing (§4.3): tamper-resistant traffic reports from both the
+// UE baseband and the bTelco, aligned and compared at the broker with the
+// Fig.5 discrepancy heuristic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace cb::cellbricks {
+
+/// Who produced a report.
+enum class Reporter : std::uint8_t { Ue = 0, Telco = 1 };
+
+/// One usage/QoS report covering a reporting period of a session — the
+/// fields enumerated in §4.3 (session id, relative timestamp, UL/DL usage,
+/// duration, and 3GPP QoS metrics, reported separately for each direction).
+struct TrafficReport {
+  std::uint64_t session_id = 0;
+  Reporter reporter = Reporter::Ue;
+  /// Relative timestamp within the session (period index), used by the
+  /// broker to align U's and T's reports.
+  std::uint32_t period = 0;
+  std::uint64_t ul_bytes = 0;
+  std::uint64_t dl_bytes = 0;
+  /// Session time covered by this report, in milliseconds.
+  std::uint64_t duration_ms = 0;
+  // QoS metrics (TS 32.425 counterparts).
+  double dl_loss_rate = 0.0;
+  double ul_loss_rate = 0.0;
+  double avg_dl_bps = 0.0;
+  double avg_ul_bps = 0.0;
+  double avg_delay_ms = 0.0;
+
+  Bytes serialize() const;
+  static Result<TrafficReport> deserialize(BytesView data);
+};
+
+}  // namespace cb::cellbricks

@@ -1,0 +1,214 @@
+#include "cellbricks/brokerd.hpp"
+
+#include "common/log.hpp"
+
+namespace cb::cellbricks {
+
+Brokerd::Brokerd(net::Node& node, SapBroker sap)
+    : Brokerd(node, std::move(sap), Config()) {}
+
+Brokerd::Brokerd(net::Node& node, SapBroker sap, Config config)
+    : node_(node),
+      sap_(std::move(sap)),
+      config_(config),
+      queue_(node.simulator()),
+      rng_(node.simulator().rng().fork(0xB20CE2)),
+      reputation_(config.reputation) {
+  node_.bind_udp(kBrokerPort, [this](const net::Packet& p) { handle(p); });
+}
+
+void Brokerd::add_subscriber(const std::string& id_u, crypto::RsaPublicKey key) {
+  subscriber_keys_[id_u] = key;
+  sap_.add_subscriber(id_u, std::move(key));
+}
+
+void Brokerd::remove_subscriber(const std::string& id_u) {
+  subscriber_keys_.erase(id_u);
+  sap_.remove_subscriber(id_u);
+}
+
+void Brokerd::set_plan(const std::string& id_u, QosInfo qos) { plans_[id_u] = qos; }
+
+const Brokerd::SessionRecord* Brokerd::session(std::uint64_t session_id) const {
+  auto it = sessions_.find(session_id);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+void Brokerd::handle(const net::Packet& packet) {
+  Bytes payload = packet.payload;
+  const net::EndPoint from = packet.src;
+  try {
+    ByteReader peek(payload);
+    const auto type = static_cast<BrokerMsg>(peek.u8());
+    const Duration service = type == BrokerMsg::AuthReq ? config_.sap_service_time
+                                                        : config_.report_service_time;
+    if (type == BrokerMsg::AuthReq) sap_busy_ += service;
+    queue_.submit(service, [this, payload = std::move(payload), from] {
+      try {
+        ByteReader r(payload);
+        const auto msg = static_cast<BrokerMsg>(r.u8());
+        if (msg == BrokerMsg::AuthReq) {
+          handle_auth(from, r);
+        } else if (msg == BrokerMsg::Report) {
+          handle_report(r);
+        }
+      } catch (const std::out_of_range&) {
+        CB_LOG(Warn, "brokerd") << "malformed message dropped";
+      }
+    });
+  } catch (const std::out_of_range&) {
+  }
+}
+
+void Brokerd::handle_auth(const net::EndPoint& from, ByteReader& r) {
+  const std::uint64_t txn = r.u64();
+  const Bytes auth_req_t = r.bytes();
+
+  // Idempotent retransmission handling.
+  const auto cache_key = std::make_pair(
+      static_cast<std::uint64_t>(from.addr.value()) << 16 | from.port, txn);
+  if (auto cached = reply_cache_.find(cache_key); cached != reply_cache_.end()) {
+    reply(from, cached->second);
+    return;
+  }
+
+  // We do not yet know the subscriber (it is sealed inside the request), so
+  // plan resolution happens via a capture inside the authorize hook.
+  std::string resolved_id_u;
+  auto decision = sap_.process_auth_req(
+      auth_req_t, node_.simulator().now(), rng_, config_.default_qos,
+      [this, &resolved_id_u](const std::string& id_u, const std::string& id_t) {
+        resolved_id_u = id_u;
+        return reputation_.authorize(id_u, id_t);
+      });
+
+  ByteWriter w;
+  if (!decision) {
+    ++auth_denied_;
+    CB_LOG(Info, "brokerd") << "auth denied: " << decision.error();
+    w.u8(static_cast<std::uint8_t>(BrokerMsg::AuthErr));
+    w.u64(txn);
+    w.str(decision.error());
+    reply(from, w.take());
+    return;
+  }
+
+  BrokerDecision& d = decision.value();
+  // Apply the subscriber's plan if one is configured (re-negotiated against
+  // the bTelco's capability next attach; for simplicity the default_qos
+  // negotiation already ran — a plan override replaces the rate fields).
+  if (auto plan = plans_.find(d.id_u); plan != plans_.end()) d.qos = plan->second;
+
+  telco_keys_[d.id_t] = d.telco_key;
+  SessionRecord rec;
+  rec.id_u = d.id_u;
+  rec.id_t = d.id_t;
+  sessions_[d.session_id] = rec;
+  ++sessions_issued_;
+
+  w.u8(static_cast<std::uint8_t>(BrokerMsg::AuthOk));
+  w.u64(txn);
+  w.bytes(d.auth_resp_t);
+  w.bytes(d.auth_resp_u);
+  Bytes payload = w.take();
+  reply_cache_[cache_key] = payload;
+  reply(from, std::move(payload));
+}
+
+void Brokerd::handle_report(ByteReader& r) {
+  ++reports_received_;
+  const Bytes sealed = r.bytes();
+  auto opened = sap_.open_box(sealed);
+  if (!opened) {
+    ++reports_rejected_;
+    return;
+  }
+  try {
+    ByteReader inner(opened.value());
+    const std::string reporter_id = inner.str();
+    const auto type = static_cast<Reporter>(inner.u8());
+    const Bytes report_bytes = inner.bytes();
+    const Bytes sig = inner.bytes();
+
+    // Verify the reporter's signature with the key we know for them.
+    const crypto::RsaPublicKey* key = nullptr;
+    if (type == Reporter::Ue) {
+      if (auto it = subscriber_keys_.find(reporter_id); it != subscriber_keys_.end()) {
+        key = &it->second;
+      }
+    } else {
+      if (auto it = telco_keys_.find(reporter_id); it != telco_keys_.end()) key = &it->second;
+    }
+    if (key == nullptr || !key->verify(report_bytes, sig)) {
+      ++reports_rejected_;
+      CB_LOG(Info, "brokerd") << "report rejected: bad signature from " << reporter_id;
+      return;
+    }
+
+    auto report = TrafficReport::deserialize(report_bytes);
+    if (!report) {
+      ++reports_rejected_;
+      return;
+    }
+    ingest_report(reporter_id, type, report.value());
+  } catch (const std::out_of_range&) {
+    ++reports_rejected_;
+  }
+}
+
+void Brokerd::ingest_report(const std::string& reporter_id, Reporter type,
+                            const TrafficReport& report) {
+  auto sit = sessions_.find(report.session_id);
+  if (sit == sessions_.end()) {
+    ++reports_rejected_;
+    return;
+  }
+  SessionRecord& rec = sit->second;
+  // The reporter must match the session's parties.
+  if ((type == Reporter::Ue && reporter_id != rec.id_u) ||
+      (type == Reporter::Telco && reporter_id != rec.id_t)) {
+    ++reports_rejected_;
+    CB_LOG(Info, "brokerd") << "report rejected: " << reporter_id
+                            << " not a party of session";
+    return;
+  }
+  if (type == Reporter::Ue) {
+    rec.ue_dl_bytes += report.dl_bytes;
+  } else {
+    rec.telco_dl_bytes += report.dl_bytes;
+  }
+  pending_reports_[{report.session_id, report.period, static_cast<int>(type)}] = report;
+  compare_if_paired(report.session_id, report.period);
+}
+
+void Brokerd::compare_if_paired(std::uint64_t session_id, std::uint32_t period) {
+  const auto ue_key = std::make_tuple(session_id, period, static_cast<int>(Reporter::Ue));
+  const auto t_key = std::make_tuple(session_id, period, static_cast<int>(Reporter::Telco));
+  auto ue_it = pending_reports_.find(ue_key);
+  auto t_it = pending_reports_.find(t_key);
+  if (ue_it == pending_reports_.end() || t_it == pending_reports_.end()) return;
+
+  SessionRecord& rec = sessions_[session_id];
+  const PairVerdict verdict = reputation_.compare(ue_it->second, t_it->second);
+  reputation_.record(rec.id_u, rec.id_t, verdict);
+  rec.pairs_compared += 1;
+  if (verdict.mismatch) {
+    rec.mismatches += 1;
+    CB_LOG(Info, "brokerd") << "billing mismatch: session " << session_id << " period "
+                            << period << " delta " << verdict.delta << "B (threshold "
+                            << static_cast<std::int64_t>(verdict.threshold) << "B)";
+  }
+  pending_reports_.erase(ue_it);
+  pending_reports_.erase(t_it);
+}
+
+void Brokerd::reply(const net::EndPoint& to, Bytes payload) {
+  net::Packet p;
+  p.src = net::EndPoint{node_.primary_address(), kBrokerPort};
+  p.dst = to;
+  p.proto = net::Proto::Udp;
+  p.payload = std::move(payload);
+  node_.send(std::move(p));
+}
+
+}  // namespace cb::cellbricks

@@ -1,0 +1,113 @@
+// brokerd: the broker daemon (the paper implements it inside Magma's Orc8r,
+// deployed on AWS). One UDP service handles:
+//   * SAP authentication/authorization requests forwarded by bTelcos,
+//   * encrypted, signed traffic reports from UEs and bTelcos (§4.3).
+// Billing alignment and the reputation system run inline on report arrival.
+#pragma once
+
+#include <map>
+#include <tuple>
+
+#include "cellbricks/billing.hpp"
+#include "cellbricks/reputation.hpp"
+#include "cellbricks/sap.hpp"
+#include "net/node.hpp"
+#include "sim/service_queue.hpp"
+
+namespace cb::cellbricks {
+
+inline constexpr std::uint16_t kBrokerPort = 4500;
+
+/// Wire message types on the broker port.
+enum class BrokerMsg : std::uint8_t {
+  AuthReq = 1,     // u64 txn, bytes authReqT
+  AuthOk = 2,      // u64 txn, bytes authRespT, bytes authRespU
+  AuthErr = 3,     // u64 txn, str reason
+  Report = 4,      // bytes sealed{str reporter_id, u8 type, bytes report, bytes sig}
+};
+
+class Brokerd {
+ public:
+  struct Config {
+    /// Per-SAP-request processing time (includes crypto; Fig.7 calibration:
+    /// 8.25 ms so CB totals 24.5 ms of processing per attach).
+    Duration sap_service_time = Duration::millis(8.25);
+    /// Report ingestion is cheaper.
+    Duration report_service_time = Duration::millis(1.0);
+    /// Default subscriber plan handed to bTelcos as qosInfo.
+    QosInfo default_qos{};
+    ReputationConfig reputation{};
+  };
+
+  Brokerd(net::Node& node, SapBroker sap);
+  Brokerd(net::Node& node, SapBroker sap, Config config);
+
+  /// Subscriber management (delegates to the SAP layer; the same database
+  /// backs billing-report signature checks).
+  void add_subscriber(const std::string& id_u, crypto::RsaPublicKey key);
+  void remove_subscriber(const std::string& id_u);
+
+  /// Per-subscriber QoS plan override (else Config::default_qos).
+  void set_plan(const std::string& id_u, QosInfo qos);
+
+  const ReputationSystem& reputation() const { return reputation_; }
+  ReputationSystem& reputation() { return reputation_; }
+
+  /// Billing state inspection (EXPERIMENTS / examples).
+  struct SessionRecord {
+    std::string id_u;
+    std::string id_t;
+    std::uint64_t ue_dl_bytes = 0;
+    std::uint64_t telco_dl_bytes = 0;
+    std::uint64_t pairs_compared = 0;
+    std::uint64_t mismatches = 0;
+  };
+  const SessionRecord* session(std::uint64_t session_id) const;
+  std::uint64_t sessions_issued() const { return sessions_issued_; }
+  std::uint64_t reports_received() const { return reports_received_; }
+  std::uint64_t reports_rejected() const { return reports_rejected_; }
+  std::uint64_t auth_denied() const { return auth_denied_; }
+
+  /// Fig.7 breakdown.
+  Duration busy_time() const { return queue_.busy_time(); }
+  /// Processing time spent on SAP requests only (excludes report ingestion).
+  Duration sap_busy_time() const { return sap_busy_; }
+
+  net::Node& node() { return node_; }
+  const SapBroker& sap() const { return sap_; }
+
+ private:
+  void handle(const net::Packet& packet);
+  void handle_auth(const net::EndPoint& from, ByteReader& r);
+  void handle_report(ByteReader& r);
+  void ingest_report(const std::string& reporter_id, Reporter type, const TrafficReport& report);
+  void compare_if_paired(std::uint64_t session_id, std::uint32_t period);
+  void reply(const net::EndPoint& to, Bytes payload);
+
+  net::Node& node_;
+  SapBroker sap_;
+  Config config_;
+  sim::ServiceQueue queue_;
+  Rng rng_;
+  ReputationSystem reputation_;
+
+  std::unordered_map<std::string, crypto::RsaPublicKey> subscriber_keys_;
+  std::unordered_map<std::string, crypto::RsaPublicKey> telco_keys_;
+  std::unordered_map<std::string, QosInfo> plans_;
+  std::unordered_map<std::uint64_t, SessionRecord> sessions_;
+  // (session, period, reporter) -> report awaiting its counterpart
+  std::map<std::tuple<std::uint64_t, std::uint32_t, int>, TrafficReport> pending_reports_;
+
+  // Replies cached per (requester, txn) so a bTelco's retransmission of a
+  // lost response is answered idempotently instead of tripping the nonce
+  // replay check.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, Bytes> reply_cache_;
+
+  Duration sap_busy_ = Duration::zero();
+  std::uint64_t sessions_issued_ = 0;
+  std::uint64_t reports_received_ = 0;
+  std::uint64_t reports_rejected_ = 0;
+  std::uint64_t auth_denied_ = 0;
+};
+
+}  // namespace cb::cellbricks

@@ -1,0 +1,228 @@
+#include "cellbricks/btelco.hpp"
+
+#include "common/log.hpp"
+
+namespace cb::cellbricks {
+
+Btelco::Btelco(net::Network& network, net::Node& node, SapTelco sap,
+               crypto::Certificate broker_cert, net::EndPoint broker_endpoint)
+    : Btelco(network, node, std::move(sap), std::move(broker_cert), broker_endpoint,
+             Config()) {}
+
+Btelco::Btelco(net::Network& network, net::Node& node, SapTelco sap,
+               crypto::Certificate broker_cert, net::EndPoint broker_endpoint, Config config)
+    : network_(network),
+      node_(node),
+      sap_(std::move(sap)),
+      broker_cert_(std::move(broker_cert)),
+      broker_(broker_endpoint),
+      config_(config),
+      queue_(node.simulator()),
+      rng_(node.simulator().rng().fork(0xB7E1C0)) {
+  port_ = node_.alloc_port();
+  node_.bind_udp(port_, [this](const net::Packet& p) {
+    try {
+      ByteReader r(p.payload);
+      const auto type = static_cast<BrokerMsg>(r.u8());
+      const std::uint64_t txn = r.u64();
+      auto it = awaiting_broker_.find(txn);
+      if (it == awaiting_broker_.end()) return;
+      auto continuation = std::move(it->second);
+      awaiting_broker_.erase(it);
+      if (type == BrokerMsg::AuthOk) {
+        continuation(r);
+      } else {
+        ByteReader err = r;
+        CB_LOG(Info, "btelco") << id() << ": broker denied attach: " << err.str();
+        ByteReader empty{BytesView{}};
+        continuation(empty);
+      }
+    } catch (const std::out_of_range&) {
+      CB_LOG(Warn, "btelco") << "malformed broker reply dropped";
+    }
+  });
+
+  // User-plane uplink metering happens via per-session counters on the
+  // radio link; downlink traffic to subscriber IPs is anchored here.
+}
+
+void Btelco::handle_attach(Bytes auth_req_u, net::Node* ue_node, net::Link* radio_link,
+                           AttachReply reply) {
+  // [AGW msg 1/2] Augment the UE request with service parameters and our
+  // signature, then forward it to the subscriber's broker.
+  queue_.submit(config_.agw_msg, [this, auth_req_u = std::move(auth_req_u), ue_node,
+                                  radio_link, reply = std::move(reply)]() mutable {
+    const Bytes auth_req_t = sap_.make_auth_req_t(auth_req_u, config_.qos_cap);
+    const std::uint64_t txn = next_txn_++;
+
+    awaiting_broker_[txn] = [this, ue_node, radio_link,
+                             reply = std::move(reply)](ByteReader& r) mutable {
+      if (r.remaining() == 0) {
+        reply(Result<std::pair<Bytes, net::Ipv4Addr>>::err("broker denied attachment"));
+        return;
+      }
+      Bytes auth_resp_t = r.bytes();
+      Bytes auth_resp_u = r.bytes();
+      // [AGW msg 2/2] Verify the broker's authorization and install the
+      // session (bearer, IP, QoS).
+      queue_.submit(config_.agw_msg, [this, ue_node, radio_link,
+                                      auth_resp_t = std::move(auth_resp_t),
+                                      auth_resp_u = std::move(auth_resp_u),
+                                      reply = std::move(reply)]() mutable {
+        auto session = sap_.process_auth_resp(auth_resp_t, broker_cert_,
+                                              node_.simulator().now());
+        if (!session) {
+          reply(Result<std::pair<Bytes, net::Ipv4Addr>>::err(session.error()));
+          return;
+        }
+        install_session(session.value(), ue_node, radio_link, std::move(auth_resp_u),
+                        std::move(reply));
+      });
+    };
+
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(BrokerMsg::AuthReq));
+    w.u64(txn);
+    w.bytes(auth_req_t);
+    send_to_broker_with_retry(txn, w.take(), config_.broker_attempts);
+  });
+}
+
+void Btelco::send_to_broker_with_retry(std::uint64_t txn, Bytes payload, int attempts_left) {
+  if (!awaiting_broker_.contains(txn)) return;  // answered meanwhile
+  if (attempts_left <= 0) {
+    auto it = awaiting_broker_.find(txn);
+    auto continuation = std::move(it->second);
+    awaiting_broker_.erase(it);
+    ByteReader empty{BytesView{}};
+    continuation(empty);  // empty reader = denial/failure path
+    return;
+  }
+  net::Packet p;
+  p.src = net::EndPoint{node_.primary_address(), port_};
+  p.dst = broker_;
+  p.proto = net::Proto::Udp;
+  p.payload = payload;
+  node_.send(std::move(p));
+  node_.simulator().schedule(config_.broker_retry,
+                             [this, txn, payload = std::move(payload), attempts_left] {
+                               send_to_broker_with_retry(txn, payload, attempts_left - 1);
+                             });
+}
+
+std::uint64_t Btelco::downlink_sent_bytes(const Session& s) const {
+  // What the gateway put on the radio toward the UE (pre-loss).
+  return s.radio_link->counters(&node_).sent_bytes;
+}
+
+std::uint64_t Btelco::uplink_delivered_bytes(const Session& s) const {
+  // What actually arrived from the UE.
+  return s.radio_link->counters(s.ue_node).delivered_bytes;
+}
+
+void Btelco::install_session(const TelcoSession& ts, net::Node* ue_node,
+                             net::Link* radio_link, Bytes auth_resp_u, AttachReply reply) {
+  Session s;
+  s.id = ts.session_id;
+  s.pseudonym = ts.ue_pseudonym;
+  s.ue_node = ue_node;
+  s.radio_link = radio_link;
+  s.qos = ts.qos;
+  s.security = ts.security;
+  s.started_at = node_.simulator().now();
+  s.ip = network_.alloc_address(config_.ip_subnet);
+  s.dl_sent_base = radio_link->counters(&node_).sent_bytes;
+  s.ul_delivered_base = radio_link->counters(ue_node).delivered_bytes;
+
+  // Anchor the subscriber IP at this gateway; downlink goes straight onto
+  // the radio bearer (the "tower + core appliances" are one site).
+  network_.register_address(s.ip, &node_, /*proxy_only=*/true);
+  const std::uint64_t sid = s.id;
+  node_.add_proxy_address(s.ip, [this, sid](net::Packet&& packet) {
+    auto it = sessions_.find(sid);
+    if (it == sessions_.end()) return;
+    it->second.radio_link->send(&node_, std::move(packet));
+  });
+  network_.recompute_routes();
+
+  by_ip_[s.ip] = s.id;
+  const net::Ipv4Addr ip = s.ip;
+  auto [sit, inserted] = sessions_.emplace(s.id, std::move(s));
+  ++attaches_;
+
+  // Periodic traffic reports for billing.
+  sit->second.report_timer = node_.simulator().schedule(
+      config_.report_interval, [this, sid] { send_report(sid, /*final=*/false); });
+
+  if (on_session_installed) on_session_installed(radio_link, sit->second.qos);
+  CB_LOG(Debug, "btelco") << id() << ": session " << sit->second.pseudonym << " ip "
+                          << ip.to_string();
+  reply(std::make_pair(std::move(auth_resp_u), ip));
+}
+
+void Btelco::send_report(std::uint64_t session_id, bool final_report) {
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;
+  Session& s = it->second;
+
+  const std::uint64_t dl_now = downlink_sent_bytes(s);
+  const std::uint64_t ul_now = uplink_delivered_bytes(s);
+  TrafficReport report;
+  report.session_id = s.id;
+  report.reporter = Reporter::Telco;
+  report.period = s.next_period++;
+  report.dl_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(dl_now - s.dl_sent_base) * config_.overreport_factor);
+  report.ul_bytes = ul_now - s.ul_delivered_base;
+  report.duration_ms = static_cast<std::uint64_t>(
+      (node_.simulator().now() - s.started_at).to_millis());
+  const double period_s = config_.report_interval.to_seconds();
+  report.avg_dl_bps = static_cast<double>(report.dl_bytes) * 8.0 / period_s;
+  report.avg_ul_bps = static_cast<double>(report.ul_bytes) * 8.0 / period_s;
+  s.dl_sent_base = dl_now;
+  s.ul_delivered_base = ul_now;
+
+  // Sign, seal to the broker, and ship.
+  const Bytes report_bytes = report.serialize();
+  ByteWriter inner;
+  inner.str(id());
+  inner.u8(static_cast<std::uint8_t>(Reporter::Telco));
+  inner.bytes(report_bytes);
+  inner.bytes(sap_.sign(report_bytes));
+  const Bytes sealed = crypto::seal(broker_cert_.key(), inner.data(), rng_);
+
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(BrokerMsg::Report));
+  w.bytes(sealed);
+  net::Packet p;
+  p.src = net::EndPoint{node_.primary_address(), port_};
+  p.dst = broker_;
+  p.proto = net::Proto::Udp;
+  p.payload = w.take();
+  node_.send(std::move(p));
+
+  if (!final_report) {
+    s.report_timer = node_.simulator().schedule(
+        config_.report_interval, [this, session_id] { send_report(session_id, false); });
+  }
+}
+
+void Btelco::handle_detach(std::uint64_t session_id) {
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;
+  send_report(session_id, /*final=*/true);
+  release_session(session_id);
+}
+
+void Btelco::release_session(std::uint64_t session_id) {
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;
+  Session& s = it->second;
+  s.report_timer.cancel();
+  node_.remove_proxy_address(s.ip);
+  network_.unregister_address(s.ip);
+  by_ip_.erase(s.ip);
+  sessions_.erase(it);
+}
+
+}  // namespace cb::cellbricks

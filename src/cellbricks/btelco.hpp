@@ -1,0 +1,113 @@
+// bTelco: a CellBricks access provider of any scale — here the extreme
+// design point the paper evaluates (§6.2): ONE tower per provider, with the
+// core appliances (AGW) co-located on the tower node.
+//
+// Responsibilities (§3/§4): forward SAP messages between UE and broker
+// (adding qosCap and its signature), install sessions on authorization
+// (assign an IP from its own pool, anchor the user plane, enforce qosInfo),
+// meter per-session usage at its gateway, and periodically send signed,
+// encrypted traffic reports to the broker. No inter-bTelco coordination, no
+// handover support, no subscriber database: that is the simplification the
+// architecture buys.
+#pragma once
+
+#include "cellbricks/billing.hpp"
+#include "cellbricks/brokerd.hpp"
+#include "cellbricks/sap.hpp"
+#include "net/network.hpp"
+#include "sim/service_queue.hpp"
+
+namespace cb::cellbricks {
+
+class Btelco {
+ public:
+  struct Config {
+    /// Per-message AGW processing (x2 per attach; Fig.7: 6.5 ms each).
+    Duration agw_msg = Duration::millis(6.5);
+    /// Reporting cycle for traffic reports ("order of many seconds").
+    Duration report_interval = Duration::s(10);
+    /// QoS capability advertised to brokers.
+    QosCap qos_cap{};
+    /// Subscriber IP pool subnet (first octet).
+    std::uint8_t ip_subnet = 100;
+    /// Dishonesty knob: multiply reported DL usage (1.0 = honest). The
+    /// "dishonest but not malicious" threat model of §4.3.
+    double overreport_factor = 1.0;
+    /// How long after a SAP response with no matching UE detach before the
+    /// session is garbage collected (inactivity timeout).
+    Duration session_timeout = Duration::s(120);
+    /// Broker-request retransmission (the UDP control path can lose
+    /// datagrams under degraded conditions).
+    Duration broker_retry = Duration::s(1);
+    int broker_attempts = 4;
+  };
+
+  Btelco(net::Network& network, net::Node& node, SapTelco sap,
+         crypto::Certificate broker_cert, net::EndPoint broker_endpoint);
+  Btelco(net::Network& network, net::Node& node, SapTelco sap,
+         crypto::Certificate broker_cert, net::EndPoint broker_endpoint, Config config);
+
+  /// SAP entry point, invoked by the UE agent over the radio control
+  /// channel. On success `reply` receives (authRespU bytes, assigned IP).
+  using AttachReply = std::function<void(Result<std::pair<Bytes, net::Ipv4Addr>>)>;
+  void handle_attach(Bytes auth_req_u, net::Node* ue_node, net::Link* radio_link,
+                     AttachReply reply);
+
+  /// UE-initiated detach: finalize accounting, send the final report, and
+  /// release the session.
+  void handle_detach(std::uint64_t session_id);
+
+  const std::string& id() const { return sap_.id_t(); }
+  net::Node& node() { return node_; }
+  std::size_t active_sessions() const { return sessions_.size(); }
+  std::uint64_t attaches_served() const { return attaches_; }
+  Duration busy_time() const { return queue_.busy_time(); }
+
+  /// Callback fired when a session is installed (the scenario uses it to
+  /// hook the QoS cap into the bearer shaper).
+  std::function<void(net::Link* radio_link, const QosInfo&)> on_session_installed;
+
+ private:
+  struct Session {
+    std::uint64_t id = 0;
+    std::string pseudonym;
+    net::Node* ue_node = nullptr;
+    net::Link* radio_link = nullptr;
+    net::Ipv4Addr ip;
+    QosInfo qos;
+    SecurityContext security;
+    TimePoint started_at;
+    std::uint32_t next_period = 0;
+    // Gateway-side counter snapshots at the start of the current period:
+    // DL measured pre-radio (what the gateway sent), UL post-radio.
+    std::uint64_t dl_sent_base = 0;
+    std::uint64_t ul_delivered_base = 0;
+    sim::EventHandle report_timer;
+  };
+
+  void install_session(const TelcoSession& ts, net::Node* ue_node, net::Link* radio_link,
+                       Bytes auth_resp_u, AttachReply reply);
+  void send_report(std::uint64_t session_id, bool final_report);
+  void send_to_broker_with_retry(std::uint64_t txn, Bytes payload, int attempts_left);
+  void release_session(std::uint64_t session_id);
+  std::uint64_t downlink_sent_bytes(const Session& s) const;
+  std::uint64_t uplink_delivered_bytes(const Session& s) const;
+
+  net::Network& network_;
+  net::Node& node_;
+  SapTelco sap_;
+  crypto::Certificate broker_cert_;
+  net::EndPoint broker_;
+  Config config_;
+  sim::ServiceQueue queue_;
+  Rng rng_;
+  std::uint16_t port_ = 0;
+
+  std::uint64_t next_txn_ = 1;
+  std::unordered_map<std::uint64_t, std::function<void(ByteReader&)>> awaiting_broker_;
+  std::unordered_map<std::uint64_t, Session> sessions_;  // by session id
+  std::unordered_map<net::Ipv4Addr, std::uint64_t> by_ip_;
+  std::uint64_t attaches_ = 0;
+};
+
+}  // namespace cb::cellbricks

@@ -1,0 +1,52 @@
+#include "cellbricks/qos.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace cb::cellbricks {
+
+namespace {
+std::uint64_t pack(double v) { return std::bit_cast<std::uint64_t>(v); }
+double unpack(std::uint64_t v) { return std::bit_cast<double>(v); }
+}  // namespace
+
+void QosCap::serialize(ByteWriter& w) const {
+  w.u64(pack(max_dl_bps));
+  w.u64(pack(max_ul_bps));
+  w.u8(qci_classes);
+}
+
+QosCap QosCap::deserialize(ByteReader& r) {
+  QosCap c;
+  c.max_dl_bps = unpack(r.u64());
+  c.max_ul_bps = unpack(r.u64());
+  c.qci_classes = r.u8();
+  return c;
+}
+
+void QosInfo::serialize(ByteWriter& w) const {
+  w.u64(pack(dl_bps));
+  w.u64(pack(ul_bps));
+  w.u8(qci);
+}
+
+QosInfo QosInfo::deserialize(ByteReader& r) {
+  QosInfo q;
+  q.dl_bps = unpack(r.u64());
+  q.ul_bps = unpack(r.u64());
+  q.qci = r.u8();
+  return q;
+}
+
+QosInfo QosInfo::negotiate(const QosInfo& desired, const QosCap& cap) {
+  QosInfo out = desired;
+  if (cap.max_dl_bps > 0.0) {
+    out.dl_bps = out.dl_bps > 0.0 ? std::min(out.dl_bps, cap.max_dl_bps) : cap.max_dl_bps;
+  }
+  if (cap.max_ul_bps > 0.0) {
+    out.ul_bps = out.ul_bps > 0.0 ? std::min(out.ul_bps, cap.max_ul_bps) : cap.max_ul_bps;
+  }
+  return out;
+}
+
+}  // namespace cb::cellbricks

@@ -1,0 +1,35 @@
+// QoS parameter negotiation (§4.1): the bTelco advertises what it can
+// enforce (qosCap), the broker picks the values it wants applied (qosInfo),
+// expressed with 3GPP-style QCI classes and rate limits.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace cb::cellbricks {
+
+/// What a bTelco is able to enforce (advertised inside authReqT).
+struct QosCap {
+  double max_dl_bps = 0.0;  // 0 = unconstrained
+  double max_ul_bps = 0.0;
+  std::uint8_t qci_classes = 0x0F;  // bitmask of supported QCI groups
+
+  void serialize(ByteWriter& w) const;
+  static QosCap deserialize(ByteReader& r);
+};
+
+/// What the broker instructs the bTelco to apply (inside authRespT).
+struct QosInfo {
+  double dl_bps = 0.0;  // 0 = leave unconstrained
+  double ul_bps = 0.0;
+  std::uint8_t qci = 9;  // default best-effort bearer
+
+  void serialize(ByteWriter& w) const;
+  static QosInfo deserialize(ByteReader& r);
+
+  /// Clamp a desired policy to what the bTelco can actually enforce.
+  static QosInfo negotiate(const QosInfo& desired, const QosCap& cap);
+};
+
+}  // namespace cb::cellbricks

@@ -1,0 +1,75 @@
+// Reputation system (§4.3, Fig.5) — the component the paper's prototype
+// defers ("We defer its implementation ... to future work"); implemented
+// here in full as a design extension.
+//
+// The broker maintains a per-bTelco aggregate score and a suspect list of
+// its own users. Scores derive from report mismatches, weighted by degree:
+// honest parties stay near 1.0; persistent over-reporters decay toward 0
+// and eventually fail the attachment-authorization policy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cellbricks/billing.hpp"
+
+namespace cb::cellbricks {
+
+struct ReputationConfig {
+  /// Fixed tolerance ratio epsilon from Fig.5 (acceptable link-loss slack).
+  double epsilon = 0.02;
+  /// Authorization threshold: bTelcos below this are refused.
+  double min_telco_score = 0.5;
+  /// A user mismatching against at least this many distinct bTelcos is
+  /// suspected of tampering with its device.
+  int suspect_distinct_telcos = 2;
+  /// Mild score recovery per clean (matching) report pair.
+  double recovery_per_clean_pair = 0.01;
+};
+
+/// Result of comparing one aligned (UE, bTelco) report pair.
+struct PairVerdict {
+  bool mismatch = false;
+  double degree = 0.0;      // how far beyond the threshold, normalized
+  double threshold = 0.0;   // bytes of tolerated discrepancy
+  std::int64_t delta = 0;   // T-reported minus U-reported DL bytes
+};
+
+class ReputationSystem {
+ public:
+  explicit ReputationSystem(ReputationConfig config = {}) : config_(config) {}
+
+  /// Fig.5: compare aligned reports; threshold = (loss_U + eps) * dl_U.
+  PairVerdict compare(const TrafficReport& from_ue, const TrafficReport& from_telco) const;
+
+  /// Fold a verdict for (id_u, id_t) into the scores.
+  void record(const std::string& id_u, const std::string& id_t, const PairVerdict& verdict);
+
+  /// Per-bTelco aggregate score in (0, 1]; unknown bTelcos start at 1.0.
+  double telco_score(const std::string& id_t) const;
+  /// Attachment authorization policy for the broker.
+  bool authorize(const std::string& id_u, const std::string& id_t) const;
+  bool is_suspect(const std::string& id_u) const { return suspects_.contains(id_u); }
+
+  std::uint64_t mismatches(const std::string& id_t) const;
+  const ReputationConfig& config() const { return config_; }
+
+ private:
+  struct TelcoState {
+    double weighted_mismatches = 0.0;
+    std::uint64_t mismatch_count = 0;
+    std::uint64_t clean_count = 0;
+  };
+  struct UserState {
+    std::unordered_set<std::string> mismatched_telcos;
+  };
+
+  ReputationConfig config_;
+  std::unordered_map<std::string, TelcoState> telcos_;
+  std::unordered_map<std::string, UserState> users_;
+  std::unordered_set<std::string> suspects_;
+};
+
+}  // namespace cb::cellbricks

@@ -1,0 +1,205 @@
+#include "cellbricks/ue_agent.hpp"
+
+#include "common/log.hpp"
+
+namespace cb::cellbricks {
+
+UeAgent::UeAgent(net::Network& network, net::Node& ue_node, SapUe sap,
+                 const ran::RanMap& ran_map, std::function<Btelco*(ran::CellId)> telco_of_cell,
+                 net::EndPoint broker_report_ep)
+    : UeAgent(network, ue_node, std::move(sap), ran_map, std::move(telco_of_cell),
+              broker_report_ep, Config()) {}
+
+UeAgent::UeAgent(net::Network& network, net::Node& ue_node, SapUe sap,
+                 const ran::RanMap& ran_map, std::function<Btelco*(ran::CellId)> telco_of_cell,
+                 net::EndPoint broker_report_ep, Config config)
+    : network_(network),
+      ue_node_(ue_node),
+      sap_(std::move(sap)),
+      ran_map_(ran_map),
+      telco_of_cell_(std::move(telco_of_cell)),
+      broker_report_ep_(broker_report_ep),
+      config_(config),
+      ue_queue_(ue_node.simulator()),
+      enb_queue_(ue_node.simulator()),
+      rng_(ue_node.simulator().rng().fork(0x0EA6)) {}
+
+void UeAgent::attach(ran::CellId cell, std::function<void(Result<net::Ipv4Addr>)> done) {
+  using R = Result<net::Ipv4Addr>;
+  Btelco* telco = telco_of_cell_(cell);
+  if (telco == nullptr) {
+    if (done) done(R::err("no CellBricks provider on this cell"));
+    return;
+  }
+  const ran::TowerSite site = ran_map_.site(cell);
+  site.radio_link->set_up(true);  // radio-layer connectivity (reused as-is)
+  attach_started_ = ue_node_.simulator().now();
+  const std::uint64_t gen = ++attach_generation_;
+  auto done_shared =
+      std::make_shared<std::function<void(R)>>(done ? std::move(done) : [](R) {});
+
+  // [UE msg 1/2] craft authReqU (encrypt authVec to pkB, sign).
+  ue_queue_.submit(config_.ue_msg, [this, gen, cell, site, telco, done_shared] {
+    if (gen != attach_generation_) return;  // superseded by newer mobility event
+    Bytes req = sap_.make_auth_req(telco->id(), rng_);
+    // [eNB leg 1/2] relay to the bTelco AGW.
+    enb_queue_.submit(config_.enb_msg, [this, gen, cell, site, telco, done_shared,
+                                        req = std::move(req)]() mutable {
+      if (gen != attach_generation_) return;
+      telco->handle_attach(
+          std::move(req), &ue_node_, site.radio_link,
+          [this, gen, cell, site, telco, done_shared](
+              Result<std::pair<Bytes, net::Ipv4Addr>> result) {
+            // [eNB leg 2/2] + [UE msg 2/2] verify authRespU, configure IP.
+            enb_queue_.submit(config_.enb_msg, [this, gen, cell, site, telco, done_shared,
+                                                result = std::move(result)]() mutable {
+              ue_queue_.submit(config_.ue_msg, [this, gen, cell, site, telco, done_shared,
+                                                result = std::move(result)]() mutable {
+                if (gen != attach_generation_) return;
+                if (!result.ok()) {
+                  ++attach_failures_;
+                  (*done_shared)(Result<net::Ipv4Addr>::err(result.error()));
+                  return;
+                }
+                auto& [resp_u, ip] = result.value();
+                auto session = sap_.process_auth_resp(resp_u);
+                if (!session.ok()) {
+                  ++attach_failures_;
+                  CB_LOG(Warn, "ue-agent") << id() << ": " << session.error();
+                  (*done_shared)(Result<net::Ipv4Addr>::err(session.error()));
+                  return;
+                }
+
+                current_ip_ = ip;
+                serving_cell_ = cell;
+                serving_telco_ = telco;
+                session_id_ = session.value().session_id;
+                ue_node_.add_address(ip);
+                ue_node_.set_default_route(site.radio_link);
+
+                // Baseband meter baselines (PDCP/RLC counters).
+                const auto& dl = site.radio_link->counters(site.node);
+                const auto& ul = site.radio_link->counters(&ue_node_);
+                dl_base_ = dl.delivered_bytes;
+                dl_sent_base_ = dl.sent_bytes;
+                ul_base_ = ul.sent_bytes;
+                session_started_ = ue_node_.simulator().now();
+                next_period_ = 0;
+                report_timer_ = ue_node_.simulator().schedule(
+                    config_.report_interval, [this] { send_report(false); });
+
+                last_attach_latency_ = ue_node_.simulator().now() - attach_started_;
+                attach_latencies_.add(last_attach_latency_.to_millis());
+
+                // Flush reports accumulated while detached.
+                while (!pending_reports_.empty()) {
+                  net::Packet p;
+                  p.src = net::EndPoint{current_ip_, 4599};
+                  p.dst = broker_report_ep_;
+                  p.proto = net::Proto::Udp;
+                  p.payload = std::move(pending_reports_.front());
+                  pending_reports_.pop_front();
+                  ue_node_.send(std::move(p));
+                }
+
+                if (mptcp_) mptcp_->notify_address_available(current_ip_);
+                if (on_attached) on_attached(cell, last_attach_latency_);
+                (*done_shared)(current_ip_);
+              });
+            });
+          });
+    });
+  });
+}
+
+void UeAgent::send_report(bool final_report) {
+  if (!attached()) return;
+  const ran::TowerSite site = ran_map_.site(serving_cell_);
+  const auto& dl = site.radio_link->counters(site.node);
+  const auto& ul = site.radio_link->counters(&ue_node_);
+
+  TrafficReport report;
+  report.session_id = session_id_;
+  report.reporter = Reporter::Ue;
+  report.period = next_period_++;
+  const std::uint64_t dl_delivered = dl.delivered_bytes - dl_base_;
+  const std::uint64_t dl_sent = dl.sent_bytes - dl_sent_base_;
+  report.dl_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(dl_delivered) * config_.underreport_factor);
+  report.ul_bytes = ul.sent_bytes - ul_base_;
+  report.dl_loss_rate =
+      dl_sent > 0 ? 1.0 - static_cast<double>(dl_delivered) / static_cast<double>(dl_sent)
+                  : 0.0;
+  report.duration_ms = static_cast<std::uint64_t>(
+      (ue_node_.simulator().now() - session_started_).to_millis());
+  const double period_s = config_.report_interval.to_seconds();
+  report.avg_dl_bps = static_cast<double>(report.dl_bytes) * 8.0 / period_s;
+  report.avg_ul_bps = static_cast<double>(report.ul_bytes) * 8.0 / period_s;
+  dl_base_ = dl.delivered_bytes;
+  dl_sent_base_ = dl.sent_bytes;
+  ul_base_ = ul.sent_bytes;
+
+  // Sign inside the "baseband", seal to the broker (§4.3).
+  const Bytes report_bytes = report.serialize();
+  ByteWriter inner;
+  inner.str(id());
+  inner.u8(static_cast<std::uint8_t>(Reporter::Ue));
+  inner.bytes(report_bytes);
+  inner.bytes(sap_.sign(report_bytes));
+  const Bytes sealed = crypto::seal(sap_.broker_key(), inner.data(), rng_);
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(BrokerMsg::Report));
+  w.bytes(sealed);
+
+  if (final_report) {
+    // The radio is about to drop: queue for delivery after the next attach.
+    pending_reports_.push_back(w.take());
+  } else {
+    net::Packet p;
+    p.src = net::EndPoint{current_ip_, 4599};
+    p.dst = broker_report_ep_;
+    p.proto = net::Proto::Udp;
+    p.payload = w.take();
+    ue_node_.send(std::move(p));
+    report_timer_ =
+        ue_node_.simulator().schedule(config_.report_interval, [this] { send_report(false); });
+  }
+}
+
+void UeAgent::detach() {
+  if (!attached()) return;
+  send_report(/*final=*/true);
+  serving_telco_->handle_detach(session_id_);
+  detach_locally();
+}
+
+void UeAgent::detach_locally() {
+  report_timer_.cancel();
+  const ran::TowerSite site = ran_map_.site(serving_cell_);
+  site.radio_link->set_up(false);
+  ue_node_.remove_address(current_ip_);
+  // (The bTelco unregisters the address from the routing oracle when it
+  // releases the session.)
+  const net::Ipv4Addr old_ip = current_ip_;
+  current_ip_ = net::Ipv4Addr{};
+  serving_cell_ = 0;
+  serving_telco_ = nullptr;
+  session_id_ = 0;
+  ++attach_generation_;  // invalidate in-flight attach continuations
+  if (mptcp_) mptcp_->notify_address_invalidated(old_ip);
+}
+
+void UeAgent::start_mobility(ran::UeRadio& radio) {
+  radio.start([this](ran::CellId /*old_cell*/, ran::CellId new_cell) {
+    if (attached()) detach();
+    if (new_cell != 0) {
+      attach(new_cell, [](Result<net::Ipv4Addr> result) {
+        if (!result.ok()) {
+          CB_LOG(Warn, "ue-agent") << "re-attach failed: " << result.error();
+        }
+      });
+    }
+  });
+}
+
+}  // namespace cb::cellbricks

@@ -1,0 +1,111 @@
+// UE agent: the host side of CellBricks.
+//
+// Implements (i) the UE's SAP procedures (Fig.2), (ii) host-driven mobility
+// (§4.2): on every serving-cell change it detaches — invalidating the IP,
+// exactly like the baseband setting the interface to 0.0.0.0 — runs SAP
+// against the new bTelco, configures the new IP, and notifies the MPTCP
+// path manager; and (iii) the baseband traffic meter whose signed reports
+// make billing verifiable (§4.3).
+#pragma once
+
+#include <deque>
+
+#include "cellbricks/btelco.hpp"
+#include "common/stats.hpp"
+#include "cellbricks/sap.hpp"
+#include "ran/ran_map.hpp"
+#include "ran/ue_radio.hpp"
+#include "transport/mptcp.hpp"
+
+namespace cb::cellbricks {
+
+class UeAgent {
+ public:
+  struct Config {
+    /// UE per-message processing incl. crypto (x2 per attach; Fig.7).
+    Duration ue_msg = Duration::millis(1.25);
+    /// eNB relay processing per leg (x2 per attach).
+    Duration enb_msg = Duration::millis(0.375);
+    /// Baseband reporting cycle.
+    Duration report_interval = Duration::s(10);
+    /// Dishonesty knob: scale reported DL usage (1.0 = honest; <1 models a
+    /// user trying to under-pay). Requires a tampered baseband.
+    double underreport_factor = 1.0;
+  };
+
+  UeAgent(net::Network& network, net::Node& ue_node, SapUe sap, const ran::RanMap& ran_map,
+          std::function<Btelco*(ran::CellId)> telco_of_cell, net::EndPoint broker_report_ep);
+  UeAgent(net::Network& network, net::Node& ue_node, SapUe sap, const ran::RanMap& ran_map,
+          std::function<Btelco*(ran::CellId)> telco_of_cell, net::EndPoint broker_report_ep,
+          Config config);
+
+  /// Attach to `cell` via SAP. `done` gets the assigned IP or the error.
+  void attach(ran::CellId cell, std::function<void(Result<net::Ipv4Addr>)> done);
+
+  /// Detach from the current bTelco (radio drop + IP invalidation).
+  void detach();
+
+  /// Host-driven mobility: subscribe to the radio's cell-change events.
+  /// Every change becomes detach + SAP re-attach; MPTCP (if wired via
+  /// set_mptcp) is told about address invalidation/availability.
+  void start_mobility(ran::UeRadio& radio);
+
+  /// Wire the MPTCP path manager notifications.
+  void set_mptcp(transport::MptcpStack* mptcp) { mptcp_ = mptcp; }
+
+  bool attached() const { return current_ip_.valid(); }
+  net::Ipv4Addr current_ip() const { return current_ip_; }
+  ran::CellId serving_cell() const { return serving_cell_; }
+  const std::string& id() const { return sap_.id_u(); }
+
+  /// Most recent attach latency (radio legs excluded) — the paper's `d`.
+  Duration last_attach_latency() const { return last_attach_latency_; }
+  const Summary& attach_latencies() const { return attach_latencies_; }
+  std::uint64_t attach_failures() const { return attach_failures_; }
+  Duration ue_busy_time() const { return ue_queue_.busy_time(); }
+  Duration enb_busy_time() const { return enb_queue_.busy_time(); }
+
+  /// Fired after each completed attach (Table-1 instrumentation).
+  std::function<void(ran::CellId, Duration latency)> on_attached;
+
+ private:
+  void send_report(bool final_report);
+  void detach_locally();  // radio + IP teardown, no bTelco signalling
+
+  net::Network& network_;
+  net::Node& ue_node_;
+  SapUe sap_;
+  const ran::RanMap& ran_map_;
+  std::function<Btelco*(ran::CellId)> telco_of_cell_;
+  net::EndPoint broker_report_ep_;
+  Config config_;
+  sim::ServiceQueue ue_queue_;
+  sim::ServiceQueue enb_queue_;
+  Rng rng_;
+
+  transport::MptcpStack* mptcp_ = nullptr;
+
+  // Session state.
+  net::Ipv4Addr current_ip_;
+  ran::CellId serving_cell_ = 0;
+  std::uint64_t session_id_ = 0;
+  Btelco* serving_telco_ = nullptr;
+  std::uint32_t next_period_ = 0;
+  std::uint64_t dl_base_ = 0;
+  std::uint64_t ul_base_ = 0;
+  std::uint64_t dl_lost_base_ = 0;
+  std::uint64_t dl_sent_base_ = 0;
+  TimePoint session_started_;
+  sim::EventHandle report_timer_;
+  std::uint64_t attach_generation_ = 0;
+
+  // Reports that could not be sent while detached (flushed next attach).
+  std::deque<Bytes> pending_reports_;
+
+  TimePoint attach_started_;
+  Duration last_attach_latency_ = Duration::zero();
+  Summary attach_latencies_;
+  std::uint64_t attach_failures_ = 0;
+};
+
+}  // namespace cb::cellbricks

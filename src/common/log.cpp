@@ -1,0 +1,36 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace cb::log_detail {
+
+namespace {
+TimePoint (*g_time_source)() = nullptr;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel& global_level() {
+  static LogLevel level = LogLevel::Warn;
+  return level;
+}
+
+void set_time_source(TimePoint (*now_fn)()) { g_time_source = now_fn; }
+
+void emit(LogLevel level, std::string_view component, const std::string& message) {
+  double t = g_time_source ? g_time_source().to_seconds() : 0.0;
+  std::fprintf(stderr, "[%10.6f] %s [%.*s] %s\n", t, level_name(level),
+               static_cast<int>(component.size()), component.data(), message.c_str());
+}
+
+}  // namespace cb::log_detail

@@ -1,0 +1,53 @@
+// Minimal leveled logger with component tags and simulated-time prefixes.
+//
+// Logging defaults to Warn so benchmarks stay quiet; tests and examples
+// raise the level when narrating behaviour.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "common/time.hpp"
+
+namespace cb {
+
+enum class LogLevel { Trace, Debug, Info, Warn, Error, Off };
+
+namespace log_detail {
+LogLevel& global_level();
+void emit(LogLevel level, std::string_view component, const std::string& message);
+/// The simulator registers itself here so log lines carry simulated time.
+void set_time_source(TimePoint (*now_fn)());
+}  // namespace log_detail
+
+/// Set the process-wide minimum level that is emitted.
+inline void set_log_level(LogLevel level) { log_detail::global_level() = level; }
+inline LogLevel log_level() { return log_detail::global_level(); }
+
+/// Streaming log statement: `CB_LOG(Info, "mme") << "attach from " << imsi;`
+#define CB_LOG(level_, component_)                                            \
+  for (bool cb_log_once = ::cb::LogLevel::level_ >= ::cb::log_level();        \
+       cb_log_once; cb_log_once = false)                                      \
+  ::cb::log_detail::LogLine(::cb::LogLevel::level_, component_)
+
+namespace log_detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogLine() { emit(level_, component_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream stream_;
+};
+}  // namespace log_detail
+
+}  // namespace cb

@@ -1,0 +1,65 @@
+// A small success-or-error type used where failures are expected protocol
+// outcomes (bad signature, unknown subscriber, ...) rather than bugs.
+// C++23's std::expected is not available on this toolchain.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace cb {
+
+/// Result<T> carries either a value or a human-readable error string.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  static Result err(std::string message) { return Result(Error{std::move(message)}); }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    require_ok();
+    return *value_;
+  }
+  T& value() & {
+    require_ok();
+    return *value_;
+  }
+  T&& take() {
+    require_ok();
+    return std::move(*value_);
+  }
+  const std::string& error() const { return error_; }
+
+ private:
+  struct Error {
+    std::string message;
+  };
+  explicit Result(Error e) : error_(std::move(e.message)) {}
+  void require_ok() const {
+    if (!ok()) throw std::logic_error("Result::value on error: " + error_);
+  }
+
+  std::optional<T> value_;
+  std::string error_;
+};
+
+/// Result<void> analogue.
+class Status {
+ public:
+  static Status ok() { return Status(""); }
+  static Status err(std::string message) { return Status(std::move(message)); }
+
+  bool is_ok() const { return error_.empty(); }
+  explicit operator bool() const { return is_ok(); }
+  const std::string& error() const { return error_; }
+
+ private:
+  explicit Status(std::string e) : error_(std::move(e)) {}
+  std::string error_;
+};
+
+}  // namespace cb

@@ -1,0 +1,87 @@
+// Simulated-time primitives shared by every CellBricks module.
+//
+// All simulation code measures time as an integer count of nanoseconds so
+// event ordering is exact and runs are bit-reproducible; floating-point
+// seconds are only used at the presentation edge (stats, reports).
+#pragma once
+
+#include <compare>
+#include <concepts>
+#include <cstdint>
+
+namespace cb {
+
+/// A signed span of simulated time with nanosecond resolution.
+///
+/// Construct via the named factories (`Duration::ms(5)`, `Duration::s(1.5)`)
+/// rather than raw nanosecond counts so call sites read in natural units.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration ns(std::int64_t v) { return Duration{v}; }
+  static constexpr Duration us(std::int64_t v) { return Duration{v * 1'000}; }
+  static constexpr Duration ms(std::int64_t v) { return Duration{v * 1'000'000}; }
+  static constexpr Duration s(std::int64_t v) { return Duration{v * 1'000'000'000}; }
+  /// Fractional seconds, e.g. `Duration::seconds(0.5)`.
+  static constexpr Duration seconds(double v) {
+    return Duration{static_cast<std::int64_t>(v * 1e9)};
+  }
+  static constexpr Duration millis(double v) {
+    return Duration{static_cast<std::int64_t>(v * 1e6)};
+  }
+  static constexpr Duration zero() { return Duration{0}; }
+  /// Sentinel larger than any physical duration used in the simulator.
+  static constexpr Duration infinite() { return Duration{INT64_MAX / 4}; }
+
+  constexpr std::int64_t nanos() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+  constexpr double to_millis() const { return static_cast<double>(ns_) / 1e6; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const { return Duration{ns_ + o.ns_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{ns_ - o.ns_}; }
+  template <typename T>
+    requires std::integral<T>
+  constexpr Duration operator*(T k) const {
+    return Duration{ns_ * static_cast<std::int64_t>(k)};
+  }
+  constexpr Duration operator*(double k) const {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(ns_) * k)};
+  }
+  constexpr Duration operator/(std::int64_t k) const { return Duration{ns_ / k}; }
+  constexpr double operator/(Duration o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+
+ private:
+  constexpr explicit Duration(std::int64_t v) : ns_(v) {}
+  std::int64_t ns_ = 0;
+};
+
+/// An absolute instant on the simulation clock (nanoseconds since run start).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  static constexpr TimePoint from_nanos(std::int64_t v) { return TimePoint{v}; }
+  static constexpr TimePoint zero() { return TimePoint{0}; }
+
+  constexpr std::int64_t nanos() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint{ns_ + d.nanos()}; }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint{ns_ - d.nanos()}; }
+  constexpr Duration operator-(TimePoint o) const { return Duration::ns(ns_ - o.ns_); }
+  constexpr TimePoint& operator+=(Duration d) { ns_ += d.nanos(); return *this; }
+
+ private:
+  constexpr explicit TimePoint(std::int64_t v) : ns_(v) {}
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace cb

@@ -1,0 +1,96 @@
+// Arbitrary-precision unsigned integers sized for RSA (512-2048 bit moduli).
+//
+// Little-endian 32-bit limbs with 64-bit intermediates; division is Knuth's
+// Algorithm D so modular exponentiation stays fast enough for per-attachment
+// signing in the simulator. Only the operations RSA needs are provided.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+
+namespace cb::crypto {
+
+class BigNum;
+
+/// Quotient and remainder from BigNum::divmod.
+struct DivMod;
+
+/// Unsigned big integer.
+class BigNum {
+ public:
+  BigNum() = default;
+  explicit BigNum(std::uint64_t v);
+
+  /// Big-endian byte import/export (the wire format for keys/signatures).
+  static BigNum from_bytes_be(BytesView data);
+  Bytes to_bytes_be() const;
+  /// Fixed-width big-endian export, left-padded with zeros; throws if the
+  /// value does not fit.
+  Bytes to_bytes_be(std::size_t width) const;
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  /// Number of significant bits.
+  std::size_t bit_length() const;
+  bool bit(std::size_t i) const;
+
+  int compare(const BigNum& o) const;
+  bool operator==(const BigNum& o) const { return compare(o) == 0; }
+  bool operator<(const BigNum& o) const { return compare(o) < 0; }
+  bool operator<=(const BigNum& o) const { return compare(o) <= 0; }
+  bool operator>(const BigNum& o) const { return compare(o) > 0; }
+  bool operator>=(const BigNum& o) const { return compare(o) >= 0; }
+
+  BigNum operator+(const BigNum& o) const;
+  /// Requires *this >= o.
+  BigNum operator-(const BigNum& o) const;
+  BigNum operator*(const BigNum& o) const;
+  BigNum operator<<(std::size_t bits) const;
+  BigNum operator>>(std::size_t bits) const;
+
+  /// Quotient and remainder; divisor must be nonzero.
+  DivMod divmod(const BigNum& divisor) const;
+  BigNum mod(const BigNum& m) const;
+
+  /// (this ^ exponent) mod m, square-and-multiply.
+  BigNum powmod(const BigNum& exponent, const BigNum& m) const;
+
+  /// Remainder of division by a small value (used in prime sieving).
+  std::uint32_t mod_u32(std::uint32_t m) const;
+
+  std::string to_string_hex() const;
+
+  /// Uniform random value in [0, bound).
+  static BigNum random_below(Rng& rng, const BigNum& bound);
+  /// Random odd integer with exactly `bits` bits (top bit set).
+  static BigNum random_odd(Rng& rng, std::size_t bits);
+
+  /// Greatest common divisor.
+  static BigNum gcd(BigNum a, BigNum b);
+  /// Modular inverse of a mod m (m > 1); returns zero if none exists.
+  static BigNum modinv(const BigNum& a, const BigNum& m);
+
+  /// Miller-Rabin with `rounds` random bases.
+  static bool is_probable_prime(const BigNum& n, Rng& rng, int rounds = 24);
+  /// Generate a random probable prime with exactly `bits` bits.
+  static BigNum generate_prime(Rng& rng, std::size_t bits);
+
+ private:
+  void trim();
+  static BigNum sub_unchecked(const BigNum& a, const BigNum& b);
+
+  std::vector<std::uint32_t> limbs_;  // little-endian, no trailing zeros
+};
+
+struct DivMod {
+  BigNum quotient;
+  BigNum remainder;
+};
+
+inline BigNum BigNum::mod(const BigNum& m) const { return divmod(m).remainder; }
+
+}  // namespace cb::crypto

@@ -1,0 +1,29 @@
+// Hybrid sealed box: RSA-encrypt a fresh symmetric key, then
+// ChaCha20-encrypt and HMAC the payload (encrypt-then-MAC).
+//
+// SAP messages from the UE to the broker and all traffic reports travel
+// inside sealed boxes, so bTelcos in the middle can neither read nor forge
+// them ("T never observes a cleartext identifier for U").
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "crypto/rsa.hpp"
+
+namespace cb::crypto {
+
+/// Encrypt `plaintext` so only the holder of the private half of
+/// `recipient` can read it. Output layout:
+///   [u32 len][rsa(sym_key)] [12B nonce] [ciphertext] [32B mac]
+Bytes seal(const RsaPublicKey& recipient, BytesView plaintext, Rng& rng);
+
+/// Open a sealed box; fails on any tampering.
+Result<Bytes> open(const RsaKeyPair& recipient, BytesView box);
+
+/// Symmetric-only authenticated encryption under an established shared
+/// secret (used once the SAP security context exists).
+Bytes symmetric_seal(BytesView key, BytesView plaintext, Rng& rng);
+Result<Bytes> symmetric_open(BytesView key, BytesView box);
+
+}  // namespace cb::crypto

@@ -1,0 +1,74 @@
+#include "crypto/cert.hpp"
+
+#include <algorithm>
+
+namespace cb::crypto {
+
+Bytes Certificate::to_be_signed() const {
+  ByteWriter w;
+  w.str(subject_);
+  w.bytes(key_.serialize());
+  w.str(issuer_);
+  w.u64(static_cast<std::uint64_t>(not_before_.nanos()));
+  w.u64(static_cast<std::uint64_t>(not_after_.nanos()));
+  return w.take();
+}
+
+Bytes Certificate::serialize() const {
+  ByteWriter w;
+  w.bytes(to_be_signed());
+  w.bytes(signature_);
+  return w.take();
+}
+
+Result<Certificate> Certificate::deserialize(BytesView data) {
+  try {
+    ByteReader outer(data);
+    const Bytes tbs = outer.bytes();
+    Bytes signature = outer.bytes();
+
+    ByteReader r(tbs);
+    std::string subject = r.str();
+    auto key = RsaPublicKey::deserialize(r.bytes());
+    if (!key) return Result<Certificate>::err("cert: " + key.error());
+    std::string issuer = r.str();
+    const auto not_before = TimePoint::from_nanos(static_cast<std::int64_t>(r.u64()));
+    const auto not_after = TimePoint::from_nanos(static_cast<std::int64_t>(r.u64()));
+    return Certificate(std::move(subject), key.take(), std::move(issuer), not_before,
+                       not_after, std::move(signature));
+  } catch (const std::out_of_range&) {
+    return Result<Certificate>::err("cert: truncated");
+  }
+}
+
+CertificateAuthority::CertificateAuthority(std::string name, Rng& rng, std::size_t modulus_bits)
+    : name_(std::move(name)), keys_(RsaKeyPair::generate(rng, modulus_bits)) {}
+
+Certificate CertificateAuthority::issue(const std::string& subject, const RsaPublicKey& key,
+                                        TimePoint not_before, TimePoint not_after) const {
+  Certificate cert(subject, key, name_, not_before, not_after, {});
+  cert.signature_ = keys_.sign(cert.to_be_signed());
+  return cert;
+}
+
+void CertificateAuthority::revoke(const std::string& subject) {
+  if (!is_revoked(subject)) revoked_.push_back(subject);
+}
+
+bool CertificateAuthority::is_revoked(const std::string& subject) const {
+  return std::find(revoked_.begin(), revoked_.end(), subject) != revoked_.end();
+}
+
+Status CertificateAuthority::validate(const Certificate& cert, TimePoint now) const {
+  if (cert.issuer() != name_) return Status::err("cert: unknown issuer " + cert.issuer());
+  if (!verify_signature(cert, public_key())) return Status::err("cert: bad signature");
+  if (now < cert.not_before() || now > cert.not_after()) return Status::err("cert: expired");
+  if (is_revoked(cert.subject())) return Status::err("cert: revoked");
+  return Status::ok();
+}
+
+bool CertificateAuthority::verify_signature(const Certificate& cert, const RsaPublicKey& ca_key) {
+  return ca_key.verify(cert.to_be_signed(), cert.signature());
+}
+
+}  // namespace cb::crypto

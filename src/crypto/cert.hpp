@@ -1,0 +1,87 @@
+// Minimal PKI: certificates binding a subject name to an RSA public key,
+// signed by a certificate authority.
+//
+// The paper assumes "B and T keys are signed by a Certificate Authority" and
+// distributed "using standard PKI techniques, akin to existing Internet
+// services". Brokers and bTelcos carry these certs; UE keys are issued by
+// the broker directly and need no certificate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "common/time.hpp"
+#include "crypto/rsa.hpp"
+
+namespace cb::crypto {
+
+/// A signed (subject, public key, validity) binding.
+class Certificate {
+ public:
+  Certificate() = default;
+  Certificate(std::string subject, RsaPublicKey key, std::string issuer,
+              TimePoint not_before, TimePoint not_after, Bytes signature)
+      : subject_(std::move(subject)),
+        key_(std::move(key)),
+        issuer_(std::move(issuer)),
+        not_before_(not_before),
+        not_after_(not_after),
+        signature_(std::move(signature)) {}
+
+  const std::string& subject() const { return subject_; }
+  const RsaPublicKey& key() const { return key_; }
+  const std::string& issuer() const { return issuer_; }
+  TimePoint not_before() const { return not_before_; }
+  TimePoint not_after() const { return not_after_; }
+  bool empty() const { return key_.empty(); }
+
+  /// The byte string the CA signs (everything except the signature).
+  Bytes to_be_signed() const;
+  Bytes serialize() const;
+  static Result<Certificate> deserialize(BytesView data);
+
+  /// Check the CA signature, validity window, and revocation.
+  friend class CertificateAuthority;
+  const Bytes& signature() const { return signature_; }
+
+ private:
+  std::string subject_;
+  RsaPublicKey key_;
+  std::string issuer_;
+  TimePoint not_before_;
+  TimePoint not_after_;
+  Bytes signature_;
+};
+
+/// Issues and validates certificates; maintains a revocation list.
+class CertificateAuthority {
+ public:
+  CertificateAuthority(std::string name, Rng& rng, std::size_t modulus_bits = 1024);
+
+  const std::string& name() const { return name_; }
+  const RsaPublicKey& public_key() const { return keys_.public_key(); }
+
+  /// Issue a certificate for `subject` valid over [not_before, not_after].
+  Certificate issue(const std::string& subject, const RsaPublicKey& key,
+                    TimePoint not_before, TimePoint not_after) const;
+
+  /// Revoke by subject name (simulating a CRL entry).
+  void revoke(const std::string& subject);
+  bool is_revoked(const std::string& subject) const;
+
+  /// Full validation against this CA at time `now`.
+  Status validate(const Certificate& cert, TimePoint now) const;
+
+  /// Signature-only check usable by parties that hold just the CA public
+  /// key (no revocation knowledge) — what a bTelco in the field does.
+  static bool verify_signature(const Certificate& cert, const RsaPublicKey& ca_key);
+
+ private:
+  std::string name_;
+  RsaKeyPair keys_;
+  std::vector<std::string> revoked_;
+};
+
+}  // namespace cb::crypto

@@ -1,0 +1,71 @@
+#include "crypto/chacha20.hpp"
+
+#include <stdexcept>
+
+namespace cb::crypto {
+
+namespace {
+
+std::uint32_t rotl(std::uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c, std::uint32_t& d) {
+  a += b; d ^= a; d = rotl(d, 16);
+  c += d; b ^= c; b = rotl(b, 12);
+  a += b; d ^= a; d = rotl(d, 8);
+  c += d; b ^= c; b = rotl(b, 7);
+}
+
+std::uint32_t load32le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 | static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+void chacha_block(const std::uint32_t state[16], std::uint8_t out[64]) {
+  std::uint32_t x[16];
+  for (int i = 0; i < 16; ++i) x[i] = state[i];
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    const std::uint32_t v = x[i] + state[i];
+    out[i * 4] = static_cast<std::uint8_t>(v);
+    out[i * 4 + 1] = static_cast<std::uint8_t>(v >> 8);
+    out[i * 4 + 2] = static_cast<std::uint8_t>(v >> 16);
+    out[i * 4 + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+}
+
+}  // namespace
+
+Bytes chacha20_xor(BytesView key, BytesView nonce, std::uint32_t counter, BytesView data) {
+  if (key.size() != kChaChaKeySize) throw std::invalid_argument("chacha20: bad key size");
+  if (nonce.size() != kChaChaNonceSize) throw std::invalid_argument("chacha20: bad nonce size");
+
+  std::uint32_t state[16];
+  state[0] = 0x61707865;
+  state[1] = 0x3320646e;
+  state[2] = 0x79622d32;
+  state[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state[4 + i] = load32le(key.data() + i * 4);
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) state[13 + i] = load32le(nonce.data() + i * 4);
+
+  Bytes out(data.begin(), data.end());
+  std::uint8_t keystream[64];
+  for (std::size_t off = 0; off < out.size(); off += 64) {
+    chacha_block(state, keystream);
+    ++state[12];
+    const std::size_t n = std::min<std::size_t>(64, out.size() - off);
+    for (std::size_t i = 0; i < n; ++i) out[off + i] ^= keystream[i];
+  }
+  return out;
+}
+
+}  // namespace cb::crypto

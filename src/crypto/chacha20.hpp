@@ -1,0 +1,18 @@
+// ChaCha20 stream cipher (RFC 8439 block function / counter mode).
+//
+// Provides the symmetric layer of the hybrid sealed box used by SAP and the
+// billing protocol. Verified against the RFC 8439 test vector in tests/.
+#pragma once
+
+#include "common/bytes.hpp"
+
+namespace cb::crypto {
+
+inline constexpr std::size_t kChaChaKeySize = 32;
+inline constexpr std::size_t kChaChaNonceSize = 12;
+
+/// XOR `data` with the ChaCha20 keystream for (key, nonce) starting at block
+/// `counter`. Encryption and decryption are the same operation.
+Bytes chacha20_xor(BytesView key, BytesView nonce, std::uint32_t counter, BytesView data);
+
+}  // namespace cb::crypto

@@ -1,0 +1,50 @@
+#include "crypto/hmac.hpp"
+
+#include <stdexcept>
+
+#include "crypto/sha256.hpp"
+
+namespace cb::crypto {
+
+namespace {
+constexpr std::size_t kBlockSize = 64;
+}
+
+Bytes hmac_sha256(BytesView key, BytesView data) {
+  Bytes k(key.begin(), key.end());
+  if (k.size() > kBlockSize) k = sha256(k);
+  k.resize(kBlockSize, 0);
+
+  Bytes ipad(kBlockSize), opad(kBlockSize);
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+  return sha256_concat(opad, sha256_concat(ipad, data));
+}
+
+Bytes hkdf_extract(BytesView salt, BytesView ikm) { return hmac_sha256(salt, ikm); }
+
+Bytes hkdf_expand(BytesView prk, BytesView info, std::size_t length) {
+  if (length > 255 * kSha256DigestSize) {
+    throw std::invalid_argument("hkdf_expand: length too large");
+  }
+  Bytes out;
+  Bytes t;
+  std::uint8_t counter = 1;
+  while (out.size() < length) {
+    Bytes block = t;
+    block.insert(block.end(), info.begin(), info.end());
+    block.push_back(counter++);
+    t = hmac_sha256(prk, block);
+    out.insert(out.end(), t.begin(), t.end());
+  }
+  out.resize(length);
+  return out;
+}
+
+Bytes hkdf(BytesView salt, BytesView ikm, BytesView info, std::size_t length) {
+  return hkdf_expand(hkdf_extract(salt, ikm), info, length);
+}
+
+}  // namespace cb::crypto

@@ -1,0 +1,23 @@
+// HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869).
+//
+// HKDF derives the CellBricks security context from the SAP shared secret
+// `ss`, mirroring how K_ASME seeds the LTE key hierarchy (NAS/AS keys).
+#pragma once
+
+#include "common/bytes.hpp"
+
+namespace cb::crypto {
+
+/// HMAC-SHA256 of `data` under `key`.
+Bytes hmac_sha256(BytesView key, BytesView data);
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+Bytes hkdf_extract(BytesView salt, BytesView ikm);
+
+/// HKDF-Expand: derive `length` bytes from `prk` bound to `info`.
+Bytes hkdf_expand(BytesView prk, BytesView info, std::size_t length);
+
+/// Extract-then-expand convenience.
+Bytes hkdf(BytesView salt, BytesView ikm, BytesView info, std::size_t length);
+
+}  // namespace cb::crypto

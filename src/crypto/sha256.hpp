@@ -1,0 +1,41 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for message digests in SAP signatures, certificate fingerprints, and
+// key derivation. Verified against NIST test vectors in tests/.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace cb::crypto {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+
+/// Incremental SHA-256 context.
+class Sha256 {
+ public:
+  Sha256();
+  /// Absorb more input.
+  void update(BytesView data);
+  /// Finalize and return the 32-byte digest. The context must not be reused.
+  Bytes finish();
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// One-shot digest.
+Bytes sha256(BytesView data);
+
+/// Digest of the concatenation of two byte strings (avoids a copy at call
+/// sites that hash header||payload).
+Bytes sha256_concat(BytesView a, BytesView b);
+
+}  // namespace cb::crypto

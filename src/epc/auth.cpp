@@ -1,0 +1,33 @@
+#include "epc/auth.hpp"
+
+#include "crypto/hmac.hpp"
+
+namespace cb::epc {
+
+namespace {
+Bytes tagged_mac(BytesView k, BytesView rand, std::string_view tag) {
+  ByteWriter w;
+  w.raw(rand);
+  w.str(tag);
+  return crypto::hmac_sha256(k, w.data());
+}
+}  // namespace
+
+AuthVector generate_auth_vector(BytesView k, Rng& rng) {
+  AuthVector v;
+  v.rand = rng.random_bytes(16);
+  v.xres = tagged_mac(k, v.rand, "res");
+  v.autn = tagged_mac(k, v.rand, "autn");
+  v.kasme = tagged_mac(k, v.rand, "kasme");
+  return v;
+}
+
+Bytes compute_res(BytesView k, BytesView rand) { return tagged_mac(k, rand, "res"); }
+
+bool verify_autn(BytesView k, BytesView rand, BytesView autn) {
+  return constant_time_equal(tagged_mac(k, rand, "autn"), autn);
+}
+
+Bytes derive_kasme(BytesView k, BytesView rand) { return tagged_mac(k, rand, "kasme"); }
+
+}  // namespace cb::epc

@@ -1,0 +1,34 @@
+// EPS-AKA authentication vectors (TS 33.401 shape).
+//
+// The cryptographic core of the MNO baseline: HSS and USIM share a secret K;
+// the HSS derives a challenge vector (RAND, XRES, AUTN, K_ASME); the UE
+// proves possession of K by returning RES and verifies the network via AUTN.
+// HMAC-SHA256 stands in for Milenage — same trust structure, same message
+// flow, honest computational cost.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+
+namespace cb::epc {
+
+struct AuthVector {
+  Bytes rand;   // 16-byte challenge
+  Bytes xres;   // expected response
+  Bytes autn;   // network authentication token
+  Bytes kasme;  // session master key
+};
+
+/// HSS side: derive a fresh vector for subscriber key `k`.
+AuthVector generate_auth_vector(BytesView k, Rng& rng);
+
+/// UE side: response to a challenge.
+Bytes compute_res(BytesView k, BytesView rand);
+
+/// UE side: check that the network knows K (mutual authentication).
+bool verify_autn(BytesView k, BytesView rand, BytesView autn);
+
+/// Both sides: session master key.
+Bytes derive_kasme(BytesView k, BytesView rand);
+
+}  // namespace cb::epc

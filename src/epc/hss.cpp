@@ -1,0 +1,77 @@
+#include "epc/hss.hpp"
+
+#include "common/log.hpp"
+
+namespace cb::epc {
+
+Hss::Hss(net::Node& node, Duration service_time)
+    : node_(node),
+      service_time_(service_time),
+      queue_(node.simulator()),
+      rng_(node.simulator().rng().fork(0x455)) {
+  node_.bind_udp(kHssPort, [this](const net::Packet& p) { handle(p); });
+}
+
+void Hss::add_subscriber(const std::string& imsi, Bytes k) {
+  subscribers_[imsi] = std::move(k);
+}
+
+bool Hss::has_subscriber(const std::string& imsi) const {
+  return subscribers_.contains(imsi);
+}
+
+void Hss::handle(const net::Packet& packet) {
+  // Copy the fields we need; processing happens after the service delay.
+  Bytes payload = packet.payload;
+  const net::EndPoint from = packet.src;
+  queue_.submit(service_time_, [this, payload = std::move(payload), from] {
+    try {
+      ByteReader r(payload);
+      const auto type = static_cast<S6aType>(r.u8());
+      const std::uint64_t txn = r.u64();
+      const std::string imsi = r.str();
+
+      auto sub = subscribers_.find(imsi);
+      if (sub == subscribers_.end()) {
+        ByteWriter w;
+        w.u8(static_cast<std::uint8_t>(S6aType::Error));
+        w.u64(txn);
+        w.str("unknown subscriber");
+        reply(from, w.take());
+        return;
+      }
+
+      if (type == S6aType::AuthInfoReq) {
+        const AuthVector v = generate_auth_vector(sub->second, rng_);
+        ByteWriter w;
+        w.u8(static_cast<std::uint8_t>(S6aType::AuthInfoResp));
+        w.u64(txn);
+        w.bytes(v.rand);
+        w.bytes(v.xres);
+        w.bytes(v.autn);
+        w.bytes(v.kasme);
+        reply(from, w.take());
+      } else if (type == S6aType::UpdateLocationReq) {
+        locations_[imsi] = from.to_string();
+        ByteWriter w;
+        w.u8(static_cast<std::uint8_t>(S6aType::UpdateLocationResp));
+        w.u64(txn);
+        w.u8(1);  // success
+        reply(from, w.take());
+      }
+    } catch (const std::out_of_range&) {
+      CB_LOG(Warn, "hss") << "malformed S6A message dropped";
+    }
+  });
+}
+
+void Hss::reply(const net::EndPoint& to, Bytes payload) {
+  net::Packet p;
+  p.src = net::EndPoint{node_.primary_address(), kHssPort};
+  p.dst = to;
+  p.proto = net::Proto::Udp;
+  p.payload = std::move(payload);
+  node_.send(std::move(p));
+}
+
+}  // namespace cb::epc

@@ -1,0 +1,55 @@
+// HSS / SubscriberDB: the subscriber database of the MNO baseline.
+//
+// Serves two S6A-style requests over UDP — Authentication Information
+// Request (AIR) and Update Location Request (ULR). The standard attach makes
+// BOTH round-trips (TS 29.272); CellBricks' SAP replaces them with a single
+// round-trip to brokerd, which is where Fig.7's latency win comes from.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "epc/auth.hpp"
+#include "net/node.hpp"
+#include "sim/service_queue.hpp"
+
+namespace cb::epc {
+
+inline constexpr std::uint16_t kHssPort = 3868;
+
+/// S6A message types on the wire.
+enum class S6aType : std::uint8_t {
+  AuthInfoReq = 1,
+  AuthInfoResp = 2,
+  UpdateLocationReq = 3,
+  UpdateLocationResp = 4,
+  Error = 5,
+};
+
+class Hss {
+ public:
+  /// `service_time` is the per-request processing delay (Fig.7 calibration).
+  Hss(net::Node& node, Duration service_time);
+
+  /// Provision a subscriber with its permanent key K.
+  void add_subscriber(const std::string& imsi, Bytes k);
+  bool has_subscriber(const std::string& imsi) const;
+
+  /// Cumulative processing time (Fig.7 breakdown).
+  Duration busy_time() const { return queue_.busy_time(); }
+  std::uint64_t requests_served() const { return queue_.jobs(); }
+
+ private:
+  void handle(const net::Packet& packet);
+  void reply(const net::EndPoint& to, Bytes payload);
+
+  net::Node& node_;
+  Duration service_time_;
+  sim::ServiceQueue queue_;
+  std::unordered_map<std::string, Bytes> subscribers_;
+  std::unordered_map<std::string, std::string> locations_;  // imsi -> serving MME
+  Rng rng_;
+};
+
+}  // namespace cb::epc

@@ -1,0 +1,18 @@
+#include "net/address.hpp"
+
+#include <cstdio>
+
+namespace cb::net {
+
+std::string Ipv4Addr::to_string() const {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", v_ >> 24 & 0xFF, v_ >> 16 & 0xFF,
+                v_ >> 8 & 0xFF, v_ & 0xFF);
+  return buf;
+}
+
+std::string EndPoint::to_string() const {
+  return addr.to_string() + ":" + std::to_string(port);
+}
+
+}  // namespace cb::net

@@ -1,0 +1,54 @@
+// IPv4-style addressing for the simulated network.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace cb::net {
+
+/// A 32-bit network address. Value type; 0 means "unassigned" (the paper's
+/// 0.0.0.0 state after a bTelco detach).
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t v) : v_(v) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : v_(static_cast<std::uint32_t>(a) << 24 | static_cast<std::uint32_t>(b) << 16 |
+           static_cast<std::uint32_t>(c) << 8 | d) {}
+
+  constexpr std::uint32_t value() const { return v_; }
+  constexpr bool valid() const { return v_ != 0; }
+  constexpr auto operator<=>(const Ipv4Addr&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  std::uint32_t v_ = 0;
+};
+
+/// Transport endpoint (address, port).
+struct EndPoint {
+  Ipv4Addr addr;
+  std::uint16_t port = 0;
+
+  constexpr auto operator<=>(const EndPoint&) const = default;
+  std::string to_string() const;
+};
+
+}  // namespace cb::net
+
+template <>
+struct std::hash<cb::net::Ipv4Addr> {
+  std::size_t operator()(const cb::net::Ipv4Addr& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+template <>
+struct std::hash<cb::net::EndPoint> {
+  std::size_t operator()(const cb::net::EndPoint& e) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        static_cast<std::uint64_t>(e.addr.value()) << 16 | e.port);
+  }
+};

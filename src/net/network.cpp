@@ -1,0 +1,93 @@
+#include "net/network.hpp"
+
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace cb::net {
+
+Node* Network::add_node(const std::string& name) {
+  nodes_.push_back(std::make_unique<Node>(sim_, name));
+  return nodes_.back().get();
+}
+
+Link* Network::connect(Node* a, Node* b, const LinkParams& params) {
+  return connect(a, b, params, params);
+}
+
+Link* Network::connect(Node* a, Node* b, const LinkParams& a_to_b, const LinkParams& b_to_a) {
+  links_.push_back(std::make_unique<Link>(sim_, a, b, a_to_b, b_to_a));
+  return links_.back().get();
+}
+
+void Network::register_address(Ipv4Addr addr, Node* owner, bool proxy_only) {
+  if (!addr.valid()) throw std::invalid_argument("register_address: invalid");
+  address_owner_[addr] = owner;
+  if (!proxy_only) owner->add_address(addr);
+}
+
+void Network::unregister_address(Ipv4Addr addr) {
+  if (auto it = address_owner_.find(addr); it != address_owner_.end()) {
+    it->second->remove_address(addr);
+    address_owner_.erase(it);
+  }
+}
+
+Node* Network::owner_of(Ipv4Addr addr) const {
+  auto it = address_owner_.find(addr);
+  return it == address_owner_.end() ? nullptr : it->second;
+}
+
+Ipv4Addr Network::alloc_address(std::uint8_t subnet_high8) {
+  std::uint32_t& next = next_host_[subnet_high8];
+  ++next;
+  if (next >= (1u << 24)) throw std::runtime_error("alloc_address: subnet exhausted");
+  return Ipv4Addr(static_cast<std::uint32_t>(subnet_high8) << 24 | next);
+}
+
+void Network::recompute_routes() {
+  // Dijkstra from each node over up links; weight = propagation delay + a
+  // tiny hop cost so zero-delay meshes still prefer fewer hops.
+  std::unordered_map<const Node*, std::size_t> index;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) index[nodes_[i].get()] = i;
+
+  const std::size_t n = nodes_.size();
+  for (std::size_t src = 0; src < n; ++src) {
+    std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+    std::vector<Link*> first_hop(n, nullptr);
+    using QEntry = std::pair<double, std::size_t>;
+    std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> pq;
+    dist[src] = 0.0;
+    pq.push({0.0, src});
+
+    while (!pq.empty()) {
+      auto [d, u] = pq.top();
+      pq.pop();
+      if (d > dist[u]) continue;
+      for (Link* link : nodes_[u]->links()) {
+        if (!link->is_up()) continue;
+        Node* peer = link->peer(nodes_[u].get());
+        auto pit = index.find(peer);
+        if (pit == index.end()) continue;
+        const std::size_t v = pit->second;
+        const double w = link->params(nodes_[u].get()).delay.to_seconds() + 1e-9;
+        if (dist[u] + w < dist[v]) {
+          dist[v] = dist[u] + w;
+          first_hop[v] = (u == src) ? link : first_hop[u];
+          pq.push({dist[v], v});
+        }
+      }
+    }
+
+    Node* source = nodes_[src].get();
+    source->clear_host_routes();
+    for (const auto& [addr, owner] : address_owner_) {
+      if (owner == source) continue;
+      auto oit = index.find(owner);
+      if (oit == index.end()) continue;
+      if (Link* hop = first_hop[oit->second]) source->set_route(addr, hop);
+    }
+  }
+}
+
+}  // namespace cb::net

@@ -1,0 +1,57 @@
+// Topology manager: owns nodes and links, maps addresses to owner nodes,
+// and computes static shortest-path routes (Dijkstra over link delay).
+//
+// Acts as the simulation's routing oracle: after any topology or addressing
+// change, call recompute_routes() and every node gets fresh host routes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "sim/simulator.hpp"
+
+namespace cb::net {
+
+class Network {
+ public:
+  explicit Network(sim::Simulator& sim) : sim_(sim) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Create a node owned by this network.
+  Node* add_node(const std::string& name);
+
+  /// Connect two nodes with symmetric parameters.
+  Link* connect(Node* a, Node* b, const LinkParams& params);
+  /// Connect with per-direction parameters.
+  Link* connect(Node* a, Node* b, const LinkParams& a_to_b, const LinkParams& b_to_a);
+
+  /// Declare that `addr` is reachable at `owner` (also adds it as a local
+  /// address there unless `proxy_only`).
+  void register_address(Ipv4Addr addr, Node* owner, bool proxy_only = false);
+  void unregister_address(Ipv4Addr addr);
+  Node* owner_of(Ipv4Addr addr) const;
+
+  /// Allocate a fresh unique address in `subnet_high8.x.y.z` order.
+  Ipv4Addr alloc_address(std::uint8_t subnet_high8);
+
+  /// Rebuild every node's route table from current link state.
+  void recompute_routes();
+
+  sim::Simulator& simulator() { return sim_; }
+  const std::vector<std::unique_ptr<Node>>& nodes() const { return nodes_; }
+
+ private:
+  sim::Simulator& sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::unordered_map<Ipv4Addr, Node*> address_owner_;
+  std::unordered_map<std::uint8_t, std::uint32_t> next_host_;
+};
+
+}  // namespace cb::net

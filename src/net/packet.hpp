@@ -1,0 +1,29 @@
+// The unit of data exchanged by simulated nodes.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "net/address.hpp"
+
+namespace cb::net {
+
+/// L4 protocol selector for host-stack demux.
+enum class Proto : std::uint8_t { Udp, Tcp };
+
+/// A network packet. The payload is the serialized L4 content (UDP datagram
+/// body or a serialized TCP segment); `overhead` accounts for L2/L3 headers
+/// in link-time and byte-accounting computations.
+struct Packet {
+  EndPoint src;
+  EndPoint dst;
+  Proto proto = Proto::Udp;
+  Bytes payload;
+  std::uint8_t ttl = 64;
+  std::size_t overhead = 40;
+
+  /// Bytes this packet occupies on a link.
+  std::size_t wire_size() const { return payload.size() + overhead; }
+};
+
+}  // namespace cb::net

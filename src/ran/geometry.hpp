@@ -1,0 +1,21 @@
+// 2-D geometry for tower placement and UE movement.
+#pragma once
+
+#include <cmath>
+
+namespace cb::ran {
+
+struct Point {
+  double x = 0.0;  // metres
+  double y = 0.0;
+
+  constexpr bool operator==(const Point&) const = default;
+};
+
+inline double distance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace cb::ran

@@ -1,0 +1,60 @@
+#include "ran/radio.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cb::ran {
+
+double RadioEnvironment::path_loss_db(double distance_m) {
+  const double d_km = std::max(distance_m, 10.0) / 1000.0;  // 10 m close-in floor
+  return 128.1 + 37.6 * std::log10(d_km);
+}
+
+double RadioEnvironment::rsrp_dbm(const Cell& cell, const Point& where) {
+  return cell.tx_power_dbm - path_loss_db(distance(cell.position, where));
+}
+
+double RadioEnvironment::achievable_rate_bps(const Cell& cell, const Point& where,
+                                             double noise_dbm) {
+  const double snr_db = rsrp_dbm(cell, where) - noise_dbm;
+  const double snr = std::pow(10.0, snr_db / 10.0);
+  // Shannon with a 0.75 implementation-efficiency factor, capped at 4.8 b/s/Hz
+  // (64-QAM-era LTE peak spectral efficiency).
+  const double se = std::min(0.75 * std::log2(1.0 + snr), 4.8);
+  return std::max(se, 0.0) * cell.bandwidth_hz;
+}
+
+void RadioEnvironment::add_cell(Cell cell) {
+  if (cell.id == 0) throw std::invalid_argument("RadioEnvironment: cell id 0 is reserved");
+  cells_.push_back(std::move(cell));
+}
+
+const Cell& RadioEnvironment::cell(CellId id) const {
+  for (const auto& c : cells_) {
+    if (c.id == id) return c;
+  }
+  throw std::out_of_range("RadioEnvironment: unknown cell");
+}
+
+std::vector<Measurement> RadioEnvironment::scan(const Point& where, double floor_dbm) const {
+  std::vector<Measurement> out;
+  for (const auto& c : cells_) {
+    const double rsrp = rsrp_dbm(c, where);
+    if (rsrp >= floor_dbm) out.push_back(Measurement{c.id, rsrp});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Measurement& a, const Measurement& b) { return a.rsrp_dbm > b.rsrp_dbm; });
+  return out;
+}
+
+Measurement RadioEnvironment::best(const Point& where, double floor_dbm) const {
+  Measurement best;
+  for (const auto& c : cells_) {
+    const double rsrp = rsrp_dbm(c, where);
+    if (rsrp >= floor_dbm && rsrp > best.rsrp_dbm) best = Measurement{c.id, rsrp};
+  }
+  return best;
+}
+
+}  // namespace cb::ran

@@ -1,0 +1,67 @@
+// Radio environment: cells, a log-distance path-loss model, and the mapping
+// from signal quality to achievable bearer rate.
+//
+// CellBricks does not modify the RAN (§3: "requires no changes to the Radio
+// Access Network"), so this model serves both the MNO baseline and the
+// CellBricks architecture identically — its job is to produce realistic
+// coverage, cell-selection, and handover-trigger behaviour.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ran/geometry.hpp"
+
+namespace cb::ran {
+
+using CellId = std::uint32_t;
+
+/// Static description of one cell (tower sector).
+struct Cell {
+  CellId id = 0;
+  Point position;
+  /// Operator that owns this tower (an MNO name or a bTelco name).
+  std::string provider;
+  /// Transmit power in dBm (typical macro: 43-46 dBm).
+  double tx_power_dbm = 43.0;
+  /// Channel bandwidth in Hz (20 MHz LTE carrier by default).
+  double bandwidth_hz = 20e6;
+};
+
+/// One scan result.
+struct Measurement {
+  CellId cell = 0;
+  double rsrp_dbm = -140.0;
+};
+
+/// Radio propagation model and cell registry.
+class RadioEnvironment {
+ public:
+  /// 3GPP-style log-distance macro path loss: L = 128.1 + 37.6 log10(d_km).
+  static double path_loss_db(double distance_m);
+
+  /// Received power for `cell` at `where`.
+  static double rsrp_dbm(const Cell& cell, const Point& where);
+
+  /// Shannon-like spectral efficiency mapping from SINR, capped at the LTE
+  /// practical ceiling; returns achievable PHY rate in bits/s.
+  static double achievable_rate_bps(const Cell& cell, const Point& where,
+                                    double noise_dbm = -95.0);
+
+  void add_cell(Cell cell);
+  const std::vector<Cell>& cells() const { return cells_; }
+  const Cell& cell(CellId id) const;
+
+  /// All cells above the detection floor at `where`, strongest first.
+  std::vector<Measurement> scan(const Point& where, double floor_dbm = -120.0) const;
+
+  /// Strongest detectable cell, or id 0 when out of coverage.
+  Measurement best(const Point& where, double floor_dbm = -120.0) const;
+
+ private:
+  std::vector<Cell> cells_;
+};
+
+}  // namespace cb::ran

@@ -1,0 +1,35 @@
+// Per-UE mapping from cells to their tower nodes and this UE's radio link.
+// The attach logic (EPC or CellBricks) uses it to bring the right radio
+// bearer up and down as the serving cell changes.
+#pragma once
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "ran/radio.hpp"
+
+namespace cb::ran {
+
+struct TowerSite {
+  net::Node* node = nullptr;    // the tower (or co-located bTelco gateway)
+  net::Link* radio_link = nullptr;  // this UE's bearer link to that tower
+};
+
+class RanMap {
+ public:
+  void add(CellId cell, TowerSite site) { sites_[cell] = site; }
+
+  const TowerSite& site(CellId cell) const {
+    auto it = sites_.find(cell);
+    if (it == sites_.end()) throw std::out_of_range("RanMap: unknown cell");
+    return it->second;
+  }
+  bool contains(CellId cell) const { return sites_.contains(cell); }
+
+ private:
+  std::unordered_map<CellId, TowerSite> sites_;
+};
+
+}  // namespace cb::ran

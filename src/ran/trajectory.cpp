@@ -1,0 +1,40 @@
+#include "ran/trajectory.hpp"
+
+#include <stdexcept>
+
+namespace cb::ran {
+
+Trajectory::Trajectory(std::vector<Point> waypoints, double speed_mps)
+    : waypoints_(std::move(waypoints)), speed_(speed_mps) {
+  if (waypoints_.empty()) throw std::invalid_argument("Trajectory: no waypoints");
+  if (speed_ <= 0.0) throw std::invalid_argument("Trajectory: speed must be positive");
+  cumulative_.reserve(waypoints_.size());
+  cumulative_.push_back(0.0);
+  for (std::size_t i = 1; i < waypoints_.size(); ++i) {
+    total_length_ += distance(waypoints_[i - 1], waypoints_[i]);
+    cumulative_.push_back(total_length_);
+  }
+}
+
+Point Trajectory::position(Duration t) const {
+  const double travelled = speed_ * t.to_seconds();
+  if (travelled <= 0.0 || waypoints_.size() == 1) return waypoints_.front();
+  if (travelled >= total_length_) return waypoints_.back();
+  // Find the segment containing `travelled`.
+  std::size_t i = 1;
+  while (cumulative_[i] < travelled) ++i;
+  const double seg_start = cumulative_[i - 1];
+  const double seg_len = cumulative_[i] - seg_start;
+  const double frac = seg_len > 0.0 ? (travelled - seg_start) / seg_len : 0.0;
+  const Point& a = waypoints_[i - 1];
+  const Point& b = waypoints_[i];
+  return Point{a.x + (b.x - a.x) * frac, a.y + (b.y - a.y) * frac};
+}
+
+Duration Trajectory::duration() const { return Duration::seconds(total_length_ / speed_); }
+
+Trajectory Trajectory::line(double length_m, double speed_mps) {
+  return Trajectory({Point{0, 0}, Point{length_m, 0}}, speed_mps);
+}
+
+}  // namespace cb::ran

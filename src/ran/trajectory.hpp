@@ -1,0 +1,37 @@
+// Mobility trajectories: piecewise-linear waypoint paths traversed at a
+// constant speed. The drive-test routes (suburb / downtown / highway) are
+// instances with different speeds and tower spacings.
+#pragma once
+
+#include <vector>
+
+#include "common/time.hpp"
+#include "ran/geometry.hpp"
+
+namespace cb::ran {
+
+class Trajectory {
+ public:
+  /// `waypoints` must contain at least one point; `speed` in m/s.
+  Trajectory(std::vector<Point> waypoints, double speed_mps);
+
+  /// Position after travelling for `t` (clamped to the final waypoint).
+  Point position(Duration t) const;
+
+  /// Total path length in metres.
+  double length() const { return total_length_; }
+  /// Time to traverse the whole path.
+  Duration duration() const;
+  double speed() const { return speed_; }
+
+  /// A straight line of `length_m` metres along the x-axis.
+  static Trajectory line(double length_m, double speed_mps);
+
+ private:
+  std::vector<Point> waypoints_;
+  std::vector<double> cumulative_;  // distance up to waypoint i
+  double speed_;
+  double total_length_ = 0.0;
+};
+
+}  // namespace cb::ran

@@ -1,0 +1,59 @@
+#include "ran/ue_radio.hpp"
+
+#include "common/log.hpp"
+
+namespace cb::ran {
+
+UeRadio::UeRadio(sim::Simulator& sim, const RadioEnvironment& env, Trajectory trajectory,
+                 UeRadioConfig config)
+    : sim_(sim), env_(env), trajectory_(std::move(trajectory)), config_(config) {}
+
+void UeRadio::start(std::function<void(CellId, CellId)> on_cell_change) {
+  on_cell_change_ = std::move(on_cell_change);
+  started_at_ = sim_.now();
+  running_ = true;
+  measure();
+}
+
+void UeRadio::stop() {
+  running_ = false;
+  timer_.cancel();
+}
+
+Point UeRadio::position() const { return trajectory_.position(sim_.now() - started_at_); }
+
+double UeRadio::serving_rate_bps() const {
+  if (serving_ == 0) return 0.0;
+  return RadioEnvironment::achievable_rate_bps(env_.cell(serving_), position());
+}
+
+void UeRadio::measure() {
+  if (!running_) return;
+  const Point where = position();
+  const Measurement best = env_.best(where, config_.floor_dbm);
+
+  CellId next = serving_;
+  if (serving_ == 0) {
+    next = best.cell;  // initial acquisition: take the strongest
+  } else {
+    const double serving_rsrp = RadioEnvironment::rsrp_dbm(env_.cell(serving_), where);
+    if (serving_rsrp < config_.floor_dbm) {
+      next = best.cell;  // lost the serving cell entirely
+    } else if (best.cell != 0 && best.cell != serving_ &&
+               best.rsrp_dbm > serving_rsrp + config_.hysteresis_db) {
+      next = best.cell;  // A3 event: neighbour better by hysteresis
+    }
+  }
+
+  if (next != serving_) {
+    const CellId old = serving_;
+    serving_ = next;
+    ++changes_;
+    CB_LOG(Debug, "ran") << "cell change " << old << " -> " << next;
+    if (on_cell_change_) on_cell_change_(old, next);
+  }
+
+  timer_ = sim_.schedule(config_.measurement_interval, [this] { measure(); });
+}
+
+}  // namespace cb::ran

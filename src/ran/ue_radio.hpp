@@ -1,0 +1,61 @@
+// UE radio: periodic measurement, cell (re)selection with hysteresis, and
+// cell-change events consumed by the mobility layer above — the EPC's
+// network handover in the MNO baseline, or the CellBricks host-driven
+// detach/re-attach (§4.2: "a user simply detaches from one cell tower and
+// independently attaches to a new tower").
+#pragma once
+
+#include <functional>
+
+#include "ran/radio.hpp"
+#include "ran/trajectory.hpp"
+#include "sim/simulator.hpp"
+
+namespace cb::ran {
+
+struct UeRadioConfig {
+  /// Measurement / reselection period.
+  Duration measurement_interval = Duration::ms(200);
+  /// A neighbour must beat the serving cell by this margin to trigger a
+  /// change (A3-style hysteresis).
+  double hysteresis_db = 3.0;
+  /// Detection floor.
+  double floor_dbm = -120.0;
+};
+
+/// Tracks the serving cell while the UE moves; emits cell-change events.
+class UeRadio {
+ public:
+  UeRadio(sim::Simulator& sim, const RadioEnvironment& env, Trajectory trajectory,
+          UeRadioConfig config = {});
+
+  /// Begin periodic measurement. `on_cell_change(old_cell, new_cell)` fires
+  /// on every serving-cell change; old_cell 0 = initial acquisition,
+  /// new_cell 0 = coverage lost.
+  void start(std::function<void(CellId, CellId)> on_cell_change);
+  void stop();
+
+  CellId serving_cell() const { return serving_; }
+  Point position() const;
+  /// Achievable PHY rate on the current serving cell at the current spot.
+  double serving_rate_bps() const;
+
+  /// Number of serving-cell changes seen so far (MTTHO statistics).
+  std::uint64_t cell_changes() const { return changes_; }
+
+ private:
+  void measure();
+
+  sim::Simulator& sim_;
+  const RadioEnvironment& env_;
+  Trajectory trajectory_;
+  UeRadioConfig config_;
+  TimePoint started_at_;
+  bool running_ = false;
+  CellId serving_ = 0;
+  std::uint64_t changes_ = 0;
+  std::function<void(CellId, CellId)> on_cell_change_;
+  sim::EventHandle timer_;
+};
+
+}  // namespace cb::ran

@@ -1,0 +1,51 @@
+// Fig.7 experiment harness: measure end-to-end attachment latency (radio
+// legs excluded, as in the paper) under both architectures, with the
+// SubscriberDB/brokerd placed "local", in "us-west-1", or in "us-east-1",
+// and break the latency down by module.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/world.hpp"
+
+namespace cb::scenario {
+
+struct AttachPlacement {
+  std::string name;
+  Duration cloud_rtt;
+};
+
+inline std::vector<AttachPlacement> attach_placements() {
+  return {{"local", Duration::millis(0.5)},
+          {"us-west-1", Duration::millis(7.2)},
+          {"us-east-1", Duration::millis(73.5)}};
+}
+
+struct AttachBreakdown {
+  std::string placement;
+  Architecture arch;
+  double total_ms = 0.0;      // mean end-to-end attach latency
+  double agw_core_ms = 0.0;   // AGW + SubscriberDB/brokerd processing
+  double enb_ms = 0.0;        // eNB relay processing
+  double ue_ms = 0.0;         // UE processing
+  double other_ms = 0.0;      // remainder: dominated by AGW<->cloud RTT
+  int attaches = 0;
+};
+
+/// Run `n` sequential attach/detach cycles and return the mean breakdown.
+AttachBreakdown run_attach_experiment(Architecture arch, Duration cloud_rtt, int n,
+                                      std::uint64_t seed = 1);
+
+/// Concurrent attach storm: `n_ues` all request attachment at once; returns
+/// mean and p99 latency (scaling claim of §6 / queueing at brokerd).
+struct AttachStorm {
+  int n_ues = 0;
+  double mean_ms = 0.0;
+  double p99_ms = 0.0;
+  int completed = 0;
+};
+AttachStorm run_attach_storm(Architecture arch, int n_ues, Duration cloud_rtt,
+                             double radio_loss, std::uint64_t seed = 1);
+
+}  // namespace cb::scenario

@@ -1,0 +1,52 @@
+// Drive-test routes calibrated to the paper's Table 1.
+//
+// The paper reports mean-time-to-handover (MTTHO) per route and time of day
+// (suburb 73.50/65.60 s, downtown 68.16/50.60 s, highway 44.72/25.50 s for
+// day/night). We fix a per-route tower spacing and derive the speed that
+// reproduces each MTTHO; day vs night also selects the Appendix-A rate
+// policy (aggressive daytime shaping vs permissive night).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ran/rate_policy.hpp"
+
+namespace cb::scenario {
+
+struct RouteSpec {
+  std::string name;
+  bool night = false;
+  double speed_mps = 10.0;
+  double tower_spacing_m = 900.0;
+  ran::RatePolicy policy = ran::RatePolicy::day();
+
+  /// Expected mean time between handovers.
+  double expected_mttho_s() const { return tower_spacing_m / speed_mps; }
+};
+
+inline RouteSpec suburb_day() {
+  return {"Suburb/D", false, 900.0 / 73.50, 900.0, ran::RatePolicy::day()};
+}
+inline RouteSpec suburb_night() {
+  return {"Suburb/N", true, 900.0 / 65.60, 900.0, ran::RatePolicy::night()};
+}
+inline RouteSpec downtown_day() {
+  return {"Downtown/D", false, 700.0 / 68.16, 700.0, ran::RatePolicy::day()};
+}
+inline RouteSpec downtown_night() {
+  return {"Downtown/N", true, 700.0 / 50.60, 700.0, ran::RatePolicy::night()};
+}
+inline RouteSpec highway_day() {
+  return {"Highway/D", false, 1400.0 / 44.72, 1400.0, ran::RatePolicy::day()};
+}
+inline RouteSpec highway_night() {
+  return {"Highway/N", true, 1400.0 / 25.50, 1400.0, ran::RatePolicy::night()};
+}
+
+inline std::vector<RouteSpec> all_routes() {
+  return {suburb_day(),  suburb_night(),  downtown_day(),
+          downtown_night(), highway_day(), highway_night()};
+}
+
+}  // namespace cb::scenario

@@ -1,0 +1,145 @@
+// World builder: assembles a complete end-to-end experiment — radio
+// environment, towers, core(s), broker or HSS, WAN, app server, and a
+// moving UE — under either architecture:
+//
+//   Mno        — one operator owns every tower; EPC (MME/HSS/SPGW) anchors
+//                the UE IP; handovers are network-driven (X2 path switch);
+//                apps run over plain TCP. The paper's baseline.
+//   CellBricks — every tower is an independent bTelco (the §6.2 extreme
+//                design point); SAP + brokerd; host-driven mobility; apps
+//                run over MPTCP.
+//
+// Both share identical geometry, radio model, rate policy, and WAN delays,
+// so any app-level difference is attributable to the architecture.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cellbricks/brokerd.hpp"
+#include "cellbricks/btelco.hpp"
+#include "cellbricks/ue_agent.hpp"
+#include "epc/hss.hpp"
+#include "epc/mme.hpp"
+#include "epc/ue_nas.hpp"
+#include "ran/ran_map.hpp"
+#include "ran/rate_policy.hpp"
+#include "ran/ue_radio.hpp"
+#include "scenario/routes.hpp"
+#include "transport/factory.hpp"
+
+namespace cb::scenario {
+
+enum class Architecture { Mno, CellBricks };
+
+struct WorldConfig {
+  Architecture arch = Architecture::CellBricks;
+  RouteSpec route = suburb_day();
+  std::uint64_t seed = 1;
+  /// Number of towers along the route (route length = spacing * (n-1)).
+  int n_towers = 12;
+  /// AGW/bTelco <-> cloud (SubscriberDB/brokerd) round-trip time.
+  Duration cloud_rtt = Duration::millis(7.2);  // "us-west-1"
+  /// RSA modulus for CellBricks entities (512 keeps setup fast; crypto cost
+  /// in the simulated timeline comes from the calibrated proc profiles).
+  std::size_t rsa_bits = 512;
+  /// Random loss on the radio links.
+  double radio_loss = 0.0;  // LTE HARQ/RLC leaves ~no residual loss
+  /// MPTCP address_worker wait (mainline: 500 ms; Fig.9 varies this).
+  Duration mptcp_address_wait = Duration::ms(500);
+  /// Disable the operator rate policy (PHY-limited only).
+  bool unlimited_policy = false;
+  /// Dishonesty knobs (§4.3 threat model): factor applied to the DL usage
+  /// the first bTelco reports, and to what the UE baseband reports.
+  double telco0_overreport = 1.0;
+  double ue_underreport = 1.0;
+  /// Billing report cadence at both the UE baseband and the bTelcos.
+  Duration report_interval = Duration::s(10);
+};
+
+class World {
+ public:
+  explicit World(WorldConfig config);
+  ~World();
+
+  /// Kick off: initial attach and the mobility loop.
+  void start();
+
+  /// Observer for serving-cell changes (fired for both architectures);
+  /// benches use it to align time series on handover instants.
+  std::function<void(ran::CellId from, ran::CellId to)> on_cell_change;
+
+  /// App-facing transports (UE side and server side match automatically).
+  transport::StreamTransport ue_transport();
+  transport::StreamTransport server_transport();
+
+  sim::Simulator& simulator() { return sim_; }
+  net::Network& network() { return network_; }
+  net::Node* ue_node() { return ue_; }
+  net::Node* server_node() { return server_; }
+  const net::Ipv4Addr& server_addr() const { return server_addr_; }
+
+  ran::UeRadio& radio() { return *radio_; }
+  const WorldConfig& config() const { return config_; }
+
+  /// Handover statistics (MTTHO for Table 1).
+  std::uint64_t handovers() const;
+  double mttho_s() const;
+  /// CellBricks attach latencies (the paper's d).
+  const Summary* attach_latencies_ms() const;
+
+  // Architecture internals (exposed for experiments and examples).
+  cellbricks::Brokerd* brokerd() { return brokerd_.get(); }
+  cellbricks::UeAgent* ue_agent() { return ue_agent_.get(); }
+  cellbricks::Btelco* btelco(std::size_t i) { return btelcos_[i].get(); }
+  std::size_t n_btelcos() const { return btelcos_.size(); }
+  epc::Mme* mme() { return mme_.get(); }
+  epc::UeNas* ue_nas() { return ue_nas_.get(); }
+  epc::Hss* hss() { return hss_.get(); }
+
+ private:
+  void build_topology();
+  void build_mno();
+  void build_cellbricks();
+  void install_shaper(ran::CellId cell);
+
+  WorldConfig config_;
+  sim::Simulator sim_;
+  net::Network network_;
+
+  // Common topology.
+  net::Node* internet_ = nullptr;
+  net::Node* server_ = nullptr;
+  net::Node* cloud_ = nullptr;
+  net::Node* ue_ = nullptr;
+  net::Ipv4Addr server_addr_;
+  net::Ipv4Addr cloud_addr_;
+  std::vector<net::Node*> towers_;
+  ran::RadioEnvironment env_;
+  ran::RanMap ran_map_;
+  std::unique_ptr<ran::UeRadio> radio_;
+  std::unique_ptr<ran::BearerShaper> shaper_;
+
+  // Transports.
+  std::unique_ptr<transport::TcpStack> ue_tcp_;
+  std::unique_ptr<transport::TcpStack> server_tcp_;
+  std::unique_ptr<transport::MptcpStack> ue_mptcp_;
+  std::unique_ptr<transport::MptcpStack> server_mptcp_;
+
+  // MNO side.
+  net::Node* agw_ = nullptr;
+  std::unique_ptr<epc::Hss> hss_;
+  std::unique_ptr<epc::SgwPgw> spgw_;
+  std::unique_ptr<epc::Mme> mme_;
+  std::unique_ptr<epc::UeNas> ue_nas_;
+
+  // CellBricks side.
+  std::unique_ptr<crypto::CertificateAuthority> ca_;
+  std::unique_ptr<cellbricks::Brokerd> brokerd_;
+  std::vector<std::unique_ptr<cellbricks::Btelco>> btelcos_;
+  std::unordered_map<ran::CellId, cellbricks::Btelco*> telco_by_cell_;
+  std::unique_ptr<cellbricks::UeAgent> ue_agent_;
+};
+
+}  // namespace cb::scenario

@@ -1,0 +1,77 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace cb::sim {
+
+namespace {
+// The most recently constructed simulator feeds the logger's time prefix.
+Simulator* g_active = nullptr;
+TimePoint log_now() { return g_active ? g_active->now() : TimePoint::zero(); }
+}  // namespace
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {
+  g_active = this;
+  log_detail::set_time_source(&log_now);
+}
+
+Simulator::~Simulator() {
+  if (g_active == this) {
+    g_active = nullptr;
+    log_detail::set_time_source(nullptr);
+  }
+}
+
+void EventHandle::cancel() {
+  if (cancelled_) *cancelled_ = true;
+}
+
+bool EventHandle::pending() const { return cancelled_ && !*cancelled_; }
+
+EventHandle Simulator::schedule(Duration delay, std::function<void()> fn) {
+  if (delay < Duration::zero()) throw std::invalid_argument("schedule: negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulator::schedule_at(TimePoint at, std::function<void()> fn) {
+  if (at < now_) throw std::invalid_argument("schedule_at: time in the past");
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Event{at, next_seq_++, std::move(fn), cancelled});
+  return EventHandle{std::move(cancelled)};
+}
+
+bool Simulator::step(const TimePoint* deadline) {
+  while (!queue_.empty()) {
+    if (*queue_.top().cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (deadline && queue_.top().at > *deadline) return false;
+    // priority_queue::top is const; the event is copied out then popped.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    *ev.cancelled = true;  // mark fired so handles report non-pending
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  while (step(nullptr)) {
+  }
+}
+
+void Simulator::run_until(TimePoint deadline) {
+  while (step(&deadline)) {
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void Simulator::run_for(Duration d) { run_until(now_ + d); }
+
+}  // namespace cb::sim

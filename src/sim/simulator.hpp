@@ -1,0 +1,95 @@
+// Discrete-event simulation engine.
+//
+// A Simulator owns a virtual clock and an ordered queue of callbacks.
+// Everything else in the repo — links, TCP timers, attach procedures, app
+// workloads — schedules work through it. Events at equal timestamps run in
+// scheduling order (a monotonic sequence number breaks ties), so runs are
+// deterministic for a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace cb::sim {
+
+class Simulator;
+
+/// Cancellation handle for a scheduled event. Cheap to copy; cancelling an
+/// already-fired event is a no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  /// Prevent the event from firing (if it has not already).
+  void cancel();
+  /// True if the event is still pending.
+  bool pending() const;
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::shared_ptr<bool> cancelled) : cancelled_(std::move(cancelled)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+/// The event engine. Not thread-safe; a whole experiment runs on one engine.
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  TimePoint now() const { return now_; }
+
+  /// The engine's root RNG; components should `fork()` children from it.
+  Rng& rng() { return rng_; }
+
+  /// Run `fn` after `delay`. Returns a handle that can cancel it.
+  EventHandle schedule(Duration delay, std::function<void()> fn);
+  /// Run `fn` at absolute time `at` (>= now).
+  EventHandle schedule_at(TimePoint at, std::function<void()> fn);
+
+  /// Process events until the queue is empty.
+  void run();
+  /// Process events with timestamps <= deadline; the clock ends at
+  /// `deadline` even if the queue drains early.
+  void run_until(TimePoint deadline);
+  /// Convenience: run_until(now + d).
+  void run_for(Duration d);
+
+  /// Number of events executed so far (for tests/debug).
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Event {
+    TimePoint at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Execute one event (skipping cancelled ones); false if nothing ran.
+  // With a deadline, events after it stay queued and false is returned.
+  bool step(const TimePoint* deadline);
+
+  TimePoint now_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Rng rng_;
+};
+
+}  // namespace cb::sim

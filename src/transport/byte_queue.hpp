@@ -1,0 +1,40 @@
+// FIFO byte buffer with random-access peek, used for TCP send/receive
+// buffers (O(1) amortized pop_front, unlike a flat vector).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/bytes.hpp"
+
+namespace cb::transport {
+
+class ByteQueue {
+ public:
+  void append(BytesView data) { buf_.insert(buf_.end(), data.begin(), data.end()); }
+
+  std::size_t size() const { return buf_.size(); }
+  bool empty() const { return buf_.empty(); }
+
+  /// Copy out `len` bytes starting `offset` bytes from the front (clamped to
+  /// the available range).
+  Bytes peek(std::size_t offset, std::size_t len) const {
+    if (offset >= buf_.size()) return {};
+    len = std::min(len, buf_.size() - offset);
+    return Bytes(buf_.begin() + static_cast<std::ptrdiff_t>(offset),
+                 buf_.begin() + static_cast<std::ptrdiff_t>(offset + len));
+  }
+
+  /// Discard `n` bytes from the front (clamped).
+  void pop(std::size_t n) {
+    n = std::min(n, buf_.size());
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+
+  void clear() { buf_.clear(); }
+
+ private:
+  std::deque<std::uint8_t> buf_;
+};
+
+}  // namespace cb::transport

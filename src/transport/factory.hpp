@@ -1,0 +1,44 @@
+// Uniform way for applications to use TCP or MPTCP: the paper runs its app
+// workloads unmodified over both (MNO baseline = TCP, CellBricks = MPTCP).
+#pragma once
+
+#include <memory>
+
+#include "transport/mptcp.hpp"
+#include "transport/tcp.hpp"
+
+namespace cb::transport {
+
+/// Connection factory + listener registration, independent of the stack.
+struct StreamTransport {
+  std::function<std::shared_ptr<StreamSocket>(net::EndPoint remote)> connect;
+  std::function<void(std::uint16_t port,
+                     std::function<void(std::shared_ptr<StreamSocket>)> on_accept)>
+      listen;
+};
+
+inline StreamTransport make_tcp_transport(TcpStack& stack) {
+  return StreamTransport{
+      [&stack](net::EndPoint remote) -> std::shared_ptr<StreamSocket> {
+        return stack.connect(remote);
+      },
+      [&stack](std::uint16_t port, std::function<void(std::shared_ptr<StreamSocket>)> cb) {
+        stack.listen(port, [cb = std::move(cb)](std::shared_ptr<TcpSocket> s) {
+          cb(std::move(s));
+        });
+      }};
+}
+
+inline StreamTransport make_mptcp_transport(MptcpStack& stack) {
+  return StreamTransport{
+      [&stack](net::EndPoint remote) -> std::shared_ptr<StreamSocket> {
+        return stack.connect(remote);
+      },
+      [&stack](std::uint16_t port, std::function<void(std::shared_ptr<StreamSocket>)> cb) {
+        stack.listen(port, [cb = std::move(cb)](std::shared_ptr<MptcpSocket> s) {
+          cb(std::move(s));
+        });
+      }};
+}
+
+}  // namespace cb::transport

@@ -1,0 +1,389 @@
+// Unit tests for src/crypto against published vectors plus property checks
+// on RSA, the PKI, and the sealed-box construction.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/bignum.hpp"
+#include "crypto/box.hpp"
+#include "crypto/cert.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/rsa.hpp"
+#include "crypto/sha256.hpp"
+
+namespace cb::crypto {
+namespace {
+
+// --- SHA-256 (FIPS 180-4 / NIST vectors) -------------------------------
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(to_hex(sha256({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(to_hex(sha256(to_bytes("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(to_hex(sha256(to_bytes(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionA) {
+  Sha256 ctx;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.update(chunk);
+  EXPECT_EQ(to_hex(ctx.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalEqualsOneShot) {
+  const Bytes msg = to_bytes("The quick brown fox jumps over the lazy dog");
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 ctx;
+    ctx.update(BytesView(msg.data(), split));
+    ctx.update(BytesView(msg.data() + split, msg.size() - split));
+    EXPECT_EQ(ctx.finish(), sha256(msg));
+  }
+}
+
+// --- HMAC (RFC 4231) ----------------------------------------------------
+
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(to_hex(hmac_sha256(key, to_bytes("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(to_hex(hmac_sha256(to_bytes("Jefe"),
+                               to_bytes("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231LongKey) {
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(to_hex(hmac_sha256(
+                key, to_bytes("Test Using Larger Than Block-Size Key - Hash Key First"))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+// --- HKDF (RFC 5869) -----------------------------------------------------
+
+TEST(Hkdf, Rfc5869Case1) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes salt = from_hex("000102030405060708090a0b0c");
+  const Bytes info = from_hex("f0f1f2f3f4f5f6f7f8f9");
+  const Bytes okm = hkdf(salt, ikm, info, 42);
+  EXPECT_EQ(to_hex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(Hkdf, DistinctInfoDistinctKeys) {
+  const Bytes ikm(32, 7);
+  EXPECT_NE(hkdf({}, ikm, to_bytes("a"), 32), hkdf({}, ikm, to_bytes("b"), 32));
+}
+
+// --- ChaCha20 (RFC 8439 §2.4.2) ------------------------------------------
+
+TEST(ChaCha20, Rfc8439Vector) {
+  const Bytes key = from_hex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const Bytes nonce = from_hex("000000000000004a00000000");
+  const Bytes plaintext = to_bytes(
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.");
+  const Bytes ct = chacha20_xor(key, nonce, 1, plaintext);
+  EXPECT_EQ(to_hex(Bytes(ct.begin(), ct.begin() + 16)),
+            "6e2e359a2568f98041ba0728dd0d6981");
+  // Involution: applying the keystream twice restores the plaintext.
+  EXPECT_EQ(chacha20_xor(key, nonce, 1, ct), plaintext);
+}
+
+TEST(ChaCha20, RejectsBadSizes) {
+  EXPECT_THROW(chacha20_xor(Bytes(16, 0), Bytes(12, 0), 0, {}), std::invalid_argument);
+  EXPECT_THROW(chacha20_xor(Bytes(32, 0), Bytes(8, 0), 0, {}), std::invalid_argument);
+}
+
+// --- BigNum ---------------------------------------------------------------
+
+TEST(BigNum, BytesRoundTrip) {
+  const Bytes raw = from_hex("0123456789abcdef00ff");
+  const BigNum n = BigNum::from_bytes_be(raw);
+  EXPECT_EQ(to_hex(n.to_bytes_be()), "0123456789abcdef00ff");
+}
+
+TEST(BigNum, AddSubMul) {
+  const BigNum a = BigNum::from_bytes_be(from_hex("ffffffffffffffffffffffffffffffff"));
+  const BigNum one{1};
+  const BigNum sum = a + one;
+  EXPECT_EQ(sum.to_string_hex(), "0100000000000000000000000000000000");
+  EXPECT_EQ((sum - one).to_string_hex(), a.to_string_hex());
+  const BigNum sq = a * a;
+  // (2^128 - 1)^2 = 2^256 - 2^129 + 1
+  EXPECT_EQ(sq.to_string_hex(),
+            "fffffffffffffffffffffffffffffffe00000000000000000000000000000001");
+}
+
+TEST(BigNum, DivModAgreesWithMultiplication) {
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const BigNum a = BigNum::from_bytes_be(rng.random_bytes(1 + rng.next_below(40)));
+    BigNum b = BigNum::from_bytes_be(rng.random_bytes(1 + rng.next_below(20)));
+    if (b.is_zero()) b = BigNum{3};
+    const auto [q, r] = a.divmod(b);
+    EXPECT_TRUE(r < b);
+    EXPECT_TRUE(q * b + r == a) << "iteration " << i;
+  }
+}
+
+TEST(BigNum, ShiftInversion) {
+  Rng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    const BigNum a = BigNum::from_bytes_be(rng.random_bytes(16));
+    const std::size_t s = rng.next_below(70);
+    EXPECT_TRUE((a << s) >> s == a);
+  }
+}
+
+TEST(BigNum, PowmodKnownValues) {
+  // 2^10 mod 1000 = 24
+  EXPECT_TRUE(BigNum{2}.powmod(BigNum{10}, BigNum{1000}) == BigNum{24});
+  // Fermat: a^(p-1) = 1 mod p for prime p
+  const BigNum p{1000003};
+  EXPECT_TRUE(BigNum{31337}.powmod(p - BigNum{1}, p) == BigNum{1});
+}
+
+TEST(BigNum, ModInverse) {
+  Rng rng(8);
+  const BigNum m = BigNum::generate_prime(rng, 64);
+  for (int i = 0; i < 20; ++i) {
+    const BigNum a = BigNum::random_below(rng, m);
+    if (a.is_zero()) continue;
+    const BigNum inv = BigNum::modinv(a, m);
+    EXPECT_TRUE((a * inv).mod(m) == BigNum{1});
+  }
+}
+
+TEST(BigNum, PrimalitySmallKnowns) {
+  Rng rng(9);
+  EXPECT_TRUE(BigNum::is_probable_prime(BigNum{2}, rng));
+  EXPECT_TRUE(BigNum::is_probable_prime(BigNum{65537}, rng));
+  EXPECT_TRUE(BigNum::is_probable_prime(BigNum{1000003}, rng));
+  EXPECT_FALSE(BigNum::is_probable_prime(BigNum{1}, rng));
+  EXPECT_FALSE(BigNum::is_probable_prime(BigNum{1000001}, rng));  // 101*9901
+  // Carmichael number 561 = 3*11*17 must be rejected.
+  EXPECT_FALSE(BigNum::is_probable_prime(BigNum{561}, rng));
+}
+
+TEST(BigNum, GeneratePrimeHasExactBitLength) {
+  Rng rng(10);
+  const BigNum p = BigNum::generate_prime(rng, 96);
+  EXPECT_EQ(p.bit_length(), 96u);
+  EXPECT_TRUE(p.is_odd());
+}
+
+// --- RSA -------------------------------------------------------------------
+
+class RsaTest : public ::testing::Test {
+ protected:
+  // One shared keypair keeps the suite fast; 512 bits is plenty for tests.
+  static RsaKeyPair& keys() {
+    static Rng rng(1234);
+    static RsaKeyPair kp = RsaKeyPair::generate(rng, 512);
+    return kp;
+  }
+};
+
+TEST_F(RsaTest, SignVerifyRoundTrip) {
+  const Bytes msg = to_bytes("attach-request-0001");
+  const Bytes sig = keys().sign(msg);
+  EXPECT_EQ(sig.size(), keys().public_key().size_bytes());
+  EXPECT_TRUE(keys().public_key().verify(msg, sig));
+}
+
+TEST_F(RsaTest, VerifyRejectsTamperedMessage) {
+  const Bytes sig = keys().sign(to_bytes("hello"));
+  EXPECT_FALSE(keys().public_key().verify(to_bytes("hellp"), sig));
+}
+
+TEST_F(RsaTest, VerifyRejectsTamperedSignature) {
+  Bytes sig = keys().sign(to_bytes("hello"));
+  sig[sig.size() / 2] ^= 1;
+  EXPECT_FALSE(keys().public_key().verify(to_bytes("hello"), sig));
+}
+
+TEST_F(RsaTest, VerifyRejectsWrongKey) {
+  Rng rng(777);
+  const RsaKeyPair other = RsaKeyPair::generate(rng, 512);
+  const Bytes sig = keys().sign(to_bytes("hello"));
+  EXPECT_FALSE(other.public_key().verify(to_bytes("hello"), sig));
+}
+
+TEST_F(RsaTest, EncryptDecryptRoundTrip) {
+  Rng rng(2);
+  const Bytes msg = to_bytes("shared-secret-material-32-bytes!");
+  auto ct = keys().public_key().encrypt(msg, rng);
+  ASSERT_TRUE(ct.ok()) << ct.error();
+  auto pt = keys().decrypt(ct.value());
+  ASSERT_TRUE(pt.ok()) << pt.error();
+  EXPECT_EQ(pt.value(), msg);
+}
+
+TEST_F(RsaTest, EncryptionIsRandomized) {
+  Rng rng(3);
+  const Bytes msg = to_bytes("same message");
+  auto c1 = keys().public_key().encrypt(msg, rng);
+  auto c2 = keys().public_key().encrypt(msg, rng);
+  EXPECT_NE(c1.value(), c2.value());
+}
+
+TEST_F(RsaTest, DecryptRejectsTamperedCiphertext) {
+  Rng rng(4);
+  auto ct = keys().public_key().encrypt(to_bytes("x"), rng);
+  Bytes bad = ct.value();
+  bad[0] ^= 0x80;
+  // Either padding fails or the plaintext differs; both are acceptable
+  // failure surfaces for PKCS#1 v1.5-style blocks.
+  auto pt = keys().decrypt(bad);
+  if (pt.ok()) {
+    EXPECT_NE(pt.value(), to_bytes("x"));
+  }
+}
+
+TEST_F(RsaTest, PlaintextTooLongRejected) {
+  Rng rng(5);
+  const Bytes big(keys().public_key().size_bytes(), 1);
+  EXPECT_FALSE(keys().public_key().encrypt(big, rng).ok());
+}
+
+TEST_F(RsaTest, KeySerializationRoundTrip) {
+  const Bytes ser = keys().public_key().serialize();
+  auto parsed = RsaPublicKey::deserialize(ser);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value() == keys().public_key());
+  EXPECT_EQ(parsed.value().fingerprint(), keys().public_key().fingerprint());
+}
+
+// --- Certificates ------------------------------------------------------------
+
+TEST(Certificates, IssueAndValidate) {
+  Rng rng(100);
+  CertificateAuthority ca("cb-root", rng, 512);
+  const RsaKeyPair subject = RsaKeyPair::generate(rng, 512);
+  const Certificate cert =
+      ca.issue("btelco-7", subject.public_key(), TimePoint::zero(),
+               TimePoint::zero() + Duration::s(3600));
+
+  EXPECT_TRUE(ca.validate(cert, TimePoint::zero() + Duration::s(10)));
+  EXPECT_TRUE(CertificateAuthority::verify_signature(cert, ca.public_key()));
+}
+
+TEST(Certificates, ExpiredRejected) {
+  Rng rng(101);
+  CertificateAuthority ca("cb-root", rng, 512);
+  const RsaKeyPair subject = RsaKeyPair::generate(rng, 512);
+  const Certificate cert = ca.issue("t", subject.public_key(), TimePoint::zero(),
+                                    TimePoint::zero() + Duration::s(10));
+  EXPECT_FALSE(ca.validate(cert, TimePoint::zero() + Duration::s(11)));
+}
+
+TEST(Certificates, RevocationRejected) {
+  Rng rng(102);
+  CertificateAuthority ca("cb-root", rng, 512);
+  const RsaKeyPair subject = RsaKeyPair::generate(rng, 512);
+  const Certificate cert = ca.issue("evil-telco", subject.public_key(), TimePoint::zero(),
+                                    TimePoint::zero() + Duration::s(1000));
+  EXPECT_TRUE(ca.validate(cert, TimePoint::zero()));
+  ca.revoke("evil-telco");
+  EXPECT_FALSE(ca.validate(cert, TimePoint::zero()));
+}
+
+TEST(Certificates, ForgedSubjectKeyRejected) {
+  Rng rng(103);
+  CertificateAuthority ca("cb-root", rng, 512);
+  const RsaKeyPair honest = RsaKeyPair::generate(rng, 512);
+  const RsaKeyPair attacker = RsaKeyPair::generate(rng, 512);
+  Certificate cert = ca.issue("t", honest.public_key(), TimePoint::zero(),
+                              TimePoint::zero() + Duration::s(1000));
+  // Attacker swaps the key but cannot re-sign.
+  Certificate forged("t", attacker.public_key(), "cb-root", cert.not_before(),
+                     cert.not_after(), cert.signature());
+  EXPECT_FALSE(ca.validate(forged, TimePoint::zero()));
+}
+
+TEST(Certificates, SerializationRoundTrip) {
+  Rng rng(104);
+  CertificateAuthority ca("cb-root", rng, 512);
+  const RsaKeyPair subject = RsaKeyPair::generate(rng, 512);
+  const Certificate cert = ca.issue("broker-1", subject.public_key(), TimePoint::zero(),
+                                    TimePoint::zero() + Duration::s(1000));
+  auto parsed = Certificate::deserialize(cert.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().subject(), "broker-1");
+  EXPECT_TRUE(ca.validate(parsed.value(), TimePoint::zero()));
+}
+
+// --- Sealed boxes --------------------------------------------------------------
+
+TEST(Box, SealOpenRoundTrip) {
+  Rng rng(200);
+  const RsaKeyPair recipient = RsaKeyPair::generate(rng, 512);
+  const Bytes msg = to_bytes("authVec: idU, idB, idT, nonce");
+  const Bytes box = seal(recipient.public_key(), msg, rng);
+  auto opened = open(recipient, box);
+  ASSERT_TRUE(opened.ok()) << opened.error();
+  EXPECT_EQ(opened.value(), msg);
+}
+
+TEST(Box, TamperAnywhereFails) {
+  Rng rng(201);
+  const RsaKeyPair recipient = RsaKeyPair::generate(rng, 512);
+  const Bytes box = seal(recipient.public_key(), to_bytes("secret"), rng);
+  for (std::size_t i = 0; i < box.size(); i += 7) {
+    Bytes bad = box;
+    bad[i] ^= 0x01;
+    EXPECT_FALSE(open(recipient, bad).ok()) << "offset " << i;
+  }
+}
+
+TEST(Box, WrongRecipientFails) {
+  Rng rng(202);
+  const RsaKeyPair alice = RsaKeyPair::generate(rng, 512);
+  const RsaKeyPair bob = RsaKeyPair::generate(rng, 512);
+  const Bytes box = seal(alice.public_key(), to_bytes("secret"), rng);
+  EXPECT_FALSE(open(bob, box).ok());
+}
+
+TEST(Box, LargePayload) {
+  Rng rng(203);
+  const RsaKeyPair recipient = RsaKeyPair::generate(rng, 512);
+  const Bytes msg = rng.random_bytes(64 * 1024);
+  auto opened = open(recipient, seal(recipient.public_key(), msg, rng));
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened.value(), msg);
+}
+
+TEST(Box, SymmetricSealRoundTripAndTamper) {
+  Rng rng(204);
+  const Bytes key = rng.random_bytes(32);
+  const Bytes msg = to_bytes("traffic report: ul=100 dl=2000");
+  const Bytes box = symmetric_seal(key, msg, rng);
+  auto opened = symmetric_open(key, box);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened.value(), msg);
+
+  Bytes bad = box;
+  bad[bad.size() - 1] ^= 1;
+  EXPECT_FALSE(symmetric_open(key, bad).ok());
+
+  const Bytes other_key = rng.random_bytes(32);
+  EXPECT_FALSE(symmetric_open(other_key, box).ok());
+}
+
+}  // namespace
+}  // namespace cb::crypto

@@ -1,0 +1,216 @@
+// Additional crypto coverage: more published vectors, parameterized
+// property sweeps across key sizes and message lengths, and adversarial
+// byte-level robustness of every deserializer.
+#include <gtest/gtest.h>
+
+#include "crypto/bignum.hpp"
+#include "crypto/box.hpp"
+#include "crypto/cert.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/rsa.hpp"
+#include "crypto/sha256.hpp"
+
+namespace cb::crypto {
+namespace {
+
+// --- More NIST / RFC vectors -------------------------------------------------
+
+TEST(Sha256Extra, Nist448BitMessage) {
+  EXPECT_EQ(to_hex(sha256(to_bytes("abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijk"
+                                   "lmnhijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnop"
+                                   "qrstu"))),
+            "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1");
+}
+
+TEST(Sha256Extra, SingleByteAndBoundaryLengths) {
+  // 55/56/64-byte messages straddle the padding boundary.
+  for (std::size_t n : {0u, 1u, 55u, 56u, 57u, 63u, 64u, 65u, 127u, 128u}) {
+    const Bytes m(n, 'x');
+    Sha256 incremental;
+    for (std::size_t i = 0; i < n; ++i) incremental.update(BytesView(&m[i], 1));
+    EXPECT_EQ(incremental.finish(), sha256(m)) << "length " << n;
+  }
+}
+
+TEST(HmacExtra, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacExtra, Rfc4231Case4) {
+  const Bytes key = from_hex("0102030405060708090a0b0c0d0e0f10111213141516171819");
+  const Bytes data(50, 0xcd);
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b");
+}
+
+TEST(HkdfExtra, Rfc5869Case2LongInputs) {
+  Bytes ikm, salt, info;
+  for (int i = 0x00; i <= 0x4f; ++i) ikm.push_back(static_cast<std::uint8_t>(i));
+  for (int i = 0x60; i <= 0xaf; ++i) salt.push_back(static_cast<std::uint8_t>(i));
+  for (int i = 0xb0; i <= 0xff; ++i) info.push_back(static_cast<std::uint8_t>(i));
+  const Bytes okm = hkdf(salt, ikm, info, 82);
+  EXPECT_EQ(to_hex(okm),
+            "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c"
+            "59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71"
+            "cc30c58179ec3e87c14c01d5c1f3434f1d87");
+}
+
+TEST(HkdfExtra, Rfc5869Case3NoSaltNoInfo) {
+  const Bytes ikm(22, 0x0b);
+  EXPECT_EQ(to_hex(hkdf({}, ikm, {}, 42)),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+// --- BigNum edge cases --------------------------------------------------------
+
+TEST(BigNumExtra, ZeroBehaviour) {
+  const BigNum zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.bit_length(), 0u);
+  EXPECT_TRUE(zero.to_bytes_be().empty());
+  EXPECT_TRUE(zero + zero == zero);
+  EXPECT_TRUE(zero * BigNum{12345} == zero);
+  EXPECT_THROW(BigNum{1}.divmod(zero), std::invalid_argument);
+  EXPECT_THROW(zero - BigNum{1}, std::invalid_argument);
+}
+
+TEST(BigNumExtra, FixedWidthExport) {
+  const BigNum v{0x1234};
+  EXPECT_EQ(to_hex(v.to_bytes_be(4)), "00001234");
+  EXPECT_THROW(v.to_bytes_be(1), std::invalid_argument);
+}
+
+TEST(BigNumExtra, LeadingZeroBytesIgnoredOnImport) {
+  const BigNum a = BigNum::from_bytes_be(from_hex("00000042"));
+  EXPECT_TRUE(a == BigNum{0x42});
+}
+
+TEST(BigNumExtra, DivModBySelfAndOne) {
+  Rng rng(3);
+  const BigNum a = BigNum::from_bytes_be(rng.random_bytes(24));
+  auto [q1, r1] = a.divmod(a);
+  EXPECT_TRUE(q1 == BigNum{1});
+  EXPECT_TRUE(r1.is_zero());
+  auto [q2, r2] = a.divmod(BigNum{1});
+  EXPECT_TRUE(q2 == a);
+  EXPECT_TRUE(r2.is_zero());
+}
+
+TEST(BigNumExtra, PowmodEdges) {
+  const BigNum m{97};
+  EXPECT_TRUE(BigNum{5}.powmod(BigNum{}, m) == BigNum{1});   // x^0 = 1
+  EXPECT_TRUE(BigNum{}.powmod(BigNum{5}, m) == BigNum{});    // 0^x = 0
+  EXPECT_TRUE(BigNum{98}.powmod(BigNum{1}, m) == BigNum{1}); // reduced base
+}
+
+TEST(BigNumExtra, ModU32MatchesDivMod) {
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    const BigNum a = BigNum::from_bytes_be(rng.random_bytes(1 + rng.next_below(30)));
+    const std::uint32_t m = 2 + static_cast<std::uint32_t>(rng.next_below(1u << 30));
+    const auto [q, r] = a.divmod(BigNum{m});
+    EXPECT_TRUE(BigNum{a.mod_u32(m)} == r);
+  }
+}
+
+// --- RSA across key sizes (CRT correctness) -----------------------------------
+
+class RsaKeySizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RsaKeySizeSweep, SignVerifyEncryptDecrypt) {
+  Rng rng(GetParam());
+  const RsaKeyPair keys = RsaKeyPair::generate(rng, GetParam());
+  const Bytes msg = rng.random_bytes(40);
+
+  const Bytes sig = keys.sign(msg);
+  EXPECT_TRUE(keys.public_key().verify(msg, sig));
+  Bytes tampered = msg;
+  tampered[0] ^= 1;
+  EXPECT_FALSE(keys.public_key().verify(tampered, sig));
+
+  const Bytes pt = rng.random_bytes(24);
+  auto ct = keys.public_key().encrypt(pt, rng);
+  ASSERT_TRUE(ct.ok());
+  auto out = keys.decrypt(ct.value());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), pt);
+}
+
+INSTANTIATE_TEST_SUITE_P(KeySizes, RsaKeySizeSweep, ::testing::Values(384, 512, 768, 1024));
+
+TEST(RsaExtra, CrtMatchesPlainExponentiation) {
+  // The signature must verify under pure public-side math — which it only
+  // can if the CRT private op equals m^d mod n.
+  Rng rng(404);
+  const RsaKeyPair keys = RsaKeyPair::generate(rng, 512);
+  for (int i = 0; i < 10; ++i) {
+    const Bytes msg = rng.random_bytes(1 + rng.next_below(200));
+    EXPECT_TRUE(keys.public_key().verify(msg, keys.sign(msg)));
+  }
+}
+
+TEST(RsaExtra, DeserializeGarbage) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    (void)RsaPublicKey::deserialize(rng.random_bytes(rng.next_below(60)));
+  }
+  SUCCEED();  // must not crash/throw
+}
+
+// --- Certificates / boxes robustness ------------------------------------------
+
+TEST(CertExtra, DeserializeGarbage) {
+  Rng rng(8);
+  for (int i = 0; i < 200; ++i) {
+    (void)Certificate::deserialize(rng.random_bytes(rng.next_below(100)));
+  }
+  SUCCEED();
+}
+
+TEST(BoxExtra, OpenGarbage) {
+  Rng rng(9);
+  const RsaKeyPair keys = RsaKeyPair::generate(rng, 512);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(open(keys, rng.random_bytes(rng.next_below(300))).ok());
+  }
+}
+
+class BoxPayloadSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BoxPayloadSweep, RoundTripAnySize) {
+  Rng rng(100 + GetParam());
+  static const RsaKeyPair keys = [] {
+    Rng kr(55);
+    return RsaKeyPair::generate(kr, 512);
+  }();
+  const Bytes msg = rng.random_bytes(GetParam());
+  auto out = open(keys, seal(keys.public_key(), msg, rng));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), msg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BoxPayloadSweep,
+                         ::testing::Values(0, 1, 31, 32, 33, 63, 64, 1000, 20000));
+
+TEST(ChaChaExtra, CounterContinuity) {
+  // Encrypting [A|B] in one call equals encrypting A at counter c and B at
+  // counter c + blocks(A) when A is block-aligned.
+  Rng rng(11);
+  const Bytes key = rng.random_bytes(32);
+  const Bytes nonce = rng.random_bytes(12);
+  const Bytes data = rng.random_bytes(256);
+  const Bytes whole = chacha20_xor(key, nonce, 5, data);
+  const Bytes a = chacha20_xor(key, nonce, 5, BytesView(data.data(), 128));
+  const Bytes b = chacha20_xor(key, nonce, 7, BytesView(data.data() + 128, 128));
+  Bytes glued = a;
+  glued.insert(glued.end(), b.begin(), b.end());
+  EXPECT_EQ(whole, glued);
+}
+
+}  // namespace
+}  // namespace cb::crypto

@@ -1,0 +1,212 @@
+// RAN tests: trajectories, path loss / rate model, cell selection with
+// hysteresis, handover cadence (MTTHO calibration), and rate policies.
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "net/network.hpp"
+#include "ran/radio.hpp"
+#include "ran/rate_policy.hpp"
+#include "ran/trajectory.hpp"
+#include "ran/ue_radio.hpp"
+#include "sim/simulator.hpp"
+
+namespace cb::ran {
+namespace {
+
+TEST(Trajectory, LinePositions) {
+  Trajectory t = Trajectory::line(1000.0, 10.0);
+  EXPECT_EQ(t.position(Duration::zero()).x, 0.0);
+  EXPECT_NEAR(t.position(Duration::s(50)).x, 500.0, 1e-9);
+  EXPECT_NEAR(t.position(Duration::s(100)).x, 1000.0, 1e-9);
+  // Clamped at the end.
+  EXPECT_NEAR(t.position(Duration::s(500)).x, 1000.0, 1e-9);
+  EXPECT_NEAR(t.duration().to_seconds(), 100.0, 1e-9);
+}
+
+TEST(Trajectory, MultiSegmentPath) {
+  Trajectory t({{0, 0}, {100, 0}, {100, 100}}, 10.0);
+  EXPECT_NEAR(t.length(), 200.0, 1e-9);
+  const Point mid = t.position(Duration::s(15));  // 150 m in
+  EXPECT_NEAR(mid.x, 100.0, 1e-9);
+  EXPECT_NEAR(mid.y, 50.0, 1e-9);
+}
+
+TEST(Trajectory, RejectsBadArguments) {
+  EXPECT_THROW(Trajectory({}, 10.0), std::invalid_argument);
+  EXPECT_THROW(Trajectory({{0, 0}}, 0.0), std::invalid_argument);
+}
+
+TEST(RadioModel, PathLossIncreasesWithDistance) {
+  EXPECT_LT(RadioEnvironment::path_loss_db(100), RadioEnvironment::path_loss_db(1000));
+  EXPECT_LT(RadioEnvironment::path_loss_db(1000), RadioEnvironment::path_loss_db(5000));
+}
+
+TEST(RadioModel, RateDecreasesWithDistance) {
+  Cell c{1, {0, 0}, "op", 43.0, 20e6};
+  const double near = RadioEnvironment::achievable_rate_bps(c, {100, 0});
+  const double mid = RadioEnvironment::achievable_rate_bps(c, {1000, 0});
+  const double far = RadioEnvironment::achievable_rate_bps(c, {3000, 0});
+  EXPECT_GT(near, mid);
+  EXPECT_GT(mid, far);
+  // Near-cell rate hits the spectral-efficiency cap: 4.8 b/s/Hz * 20 MHz.
+  EXPECT_NEAR(near, 4.8 * 20e6, 1e3);
+}
+
+TEST(RadioEnvironment, ScanOrdersByStrength) {
+  RadioEnvironment env;
+  env.add_cell(Cell{1, {0, 0}, "a"});
+  env.add_cell(Cell{2, {500, 0}, "b"});
+  env.add_cell(Cell{3, {5000, 0}, "c"});
+  const auto scan = env.scan({400, 0});
+  ASSERT_GE(scan.size(), 2u);
+  EXPECT_EQ(scan[0].cell, 2u);  // closest
+  EXPECT_EQ(scan[1].cell, 1u);
+  EXPECT_EQ(env.best({400, 0}).cell, 2u);
+}
+
+TEST(RadioEnvironment, OutOfCoverageReturnsZero) {
+  RadioEnvironment env;
+  env.add_cell(Cell{1, {0, 0}, "a"});
+  EXPECT_EQ(env.best({200000, 0}).cell, 0u);
+}
+
+TEST(RadioEnvironment, RejectsReservedCellId) {
+  RadioEnvironment env;
+  EXPECT_THROW(env.add_cell(Cell{0, {0, 0}, "bad"}), std::invalid_argument);
+}
+
+TEST(UeRadio, AcquiresAndHandsOverAlongLine) {
+  sim::Simulator sim;
+  RadioEnvironment env;
+  const double spacing = 1000.0;
+  for (int i = 0; i < 5; ++i) {
+    env.add_cell(Cell{static_cast<CellId>(i + 1), {spacing * i, 0}, "op"});
+  }
+  UeRadio radio(sim, env, Trajectory::line(4000.0, 20.0));
+  std::vector<std::pair<CellId, CellId>> events;
+  radio.start([&](CellId from, CellId to) { events.push_back({from, to}); });
+  sim.run_for(Duration::s(210));
+  radio.stop();
+
+  ASSERT_GE(events.size(), 4u);
+  EXPECT_EQ(events[0].first, 0u);  // initial acquisition
+  EXPECT_EQ(events[0].second, 1u);
+  // Monotonic progression through the cells.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].first, events[i - 1].second);
+    EXPECT_EQ(events[i].second, events[i].first + 1);
+  }
+}
+
+TEST(UeRadio, HysteresisDelaysHandoverPastMidpoint) {
+  sim::Simulator sim;
+  RadioEnvironment env;
+  env.add_cell(Cell{1, {0, 0}, "op"});
+  env.add_cell(Cell{2, {1000, 0}, "op"});
+  UeRadio radio(sim, env, Trajectory::line(1000.0, 10.0));
+  double handover_x = -1;
+  radio.start([&](CellId, CellId to) {
+    if (to == 2) handover_x = radio.position().x;
+  });
+  sim.run_for(Duration::s(100));
+  radio.stop();
+  ASSERT_GT(handover_x, 0.0);
+  EXPECT_GT(handover_x, 500.0);  // strictly past the midpoint (3 dB margin)
+  EXPECT_LT(handover_x, 850.0);
+}
+
+// MTTHO calibration property: spacing / speed ~= measured MTTHO.
+struct MtthoCase {
+  double spacing;
+  double speed;
+};
+class MtthoSweep : public ::testing::TestWithParam<MtthoCase> {};
+
+TEST_P(MtthoSweep, MatchesGeometry) {
+  const auto [spacing, speed] = GetParam();
+  sim::Simulator sim;
+  RadioEnvironment env;
+  const int n = 12;
+  for (int i = 0; i < n; ++i) {
+    env.add_cell(Cell{static_cast<CellId>(i + 1), {spacing * i, 0}, "op"});
+  }
+  UeRadio radio(sim, env, Trajectory::line(spacing * (n - 1), speed));
+  radio.start(nullptr);
+  const double drive_s = spacing * (n - 1) / speed;
+  sim.run_for(Duration::seconds(drive_s));
+  radio.stop();
+  const auto handovers = radio.cell_changes() - 1;
+  ASSERT_GT(handovers, 0u);
+  const double mttho = drive_s / static_cast<double>(handovers);
+  EXPECT_NEAR(mttho, spacing / speed, 0.25 * spacing / speed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, MtthoSweep,
+                         ::testing::Values(MtthoCase{900, 12.2}, MtthoCase{700, 10.3},
+                                           MtthoCase{1400, 31.3}, MtthoCase{1400, 54.9}));
+
+TEST(RatePolicy, SamplesWithinBounds) {
+  Rng rng(1);
+  const RatePolicy day = RatePolicy::day();
+  Summary s;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = day.sample(rng);
+    EXPECT_GE(v, day.min_bps);
+    EXPECT_LE(v, day.max_bps);
+    s.add(v);
+  }
+  EXPECT_NEAR(s.mean(), day.mean_bps, 0.15e6);
+}
+
+TEST(RatePolicy, NightIsMuchFasterThanDay) {
+  Rng rng(2);
+  double day_sum = 0, night_sum = 0;
+  for (int i = 0; i < 2000; ++i) {
+    day_sum += RatePolicy::day().sample(rng);
+    night_sum += RatePolicy::night().sample(rng);
+  }
+  // Appendix A: ~14.5x faster at night.
+  EXPECT_GT(night_sum / day_sum, 8.0);
+}
+
+TEST(BearerShaper, AppliesPolicyToLink) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  net::Node* a = net.add_node("a");
+  net::Node* b = net.add_node("b");
+  net::Link* link = net.connect(a, b, net::LinkParams{.rate_bps = 100e6});
+  BearerShaper shaper(sim, *link, a, RatePolicy::day(), nullptr);
+  sim.run_for(Duration::s(2));
+  const double rate = link->params(a).rate_bps;
+  EXPECT_GT(rate, 0.0);
+  EXPECT_LE(rate, RatePolicy::day().max_bps);
+  // Symmetric shaping.
+  EXPECT_DOUBLE_EQ(link->params(b).rate_bps, rate);
+}
+
+TEST(BearerShaper, QosCapWins) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  net::Node* a = net.add_node("a");
+  net::Node* b = net.add_node("b");
+  net::Link* link = net.connect(a, b, net::LinkParams{.rate_bps = 100e6});
+  BearerShaper shaper(sim, *link, a, RatePolicy::night(), nullptr);
+  shaper.set_cap_bps(1e6);
+  sim.run_for(Duration::s(3));
+  EXPECT_LE(link->params(a).rate_bps, 1e6 + 1.0);
+}
+
+TEST(BearerShaper, PhyLimitApplies) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  net::Node* a = net.add_node("a");
+  net::Node* b = net.add_node("b");
+  net::Link* link = net.connect(a, b, net::LinkParams{});
+  BearerShaper shaper(sim, *link, a, RatePolicy::night(), [] { return 3e6; });
+  sim.run_for(Duration::s(2));
+  EXPECT_LE(link->params(a).rate_bps, 3e6 + 1.0);
+  EXPECT_GT(link->params(a).rate_bps, 0.0);
+}
+
+}  // namespace
+}  // namespace cb::ran

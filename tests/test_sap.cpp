@@ -1,0 +1,256 @@
+// SAP protocol tests (pure logic, no network): the Fig.2/Fig.3 procedures,
+// their security properties (replay, tampering, relay binding, IMSI
+// privacy), QoS negotiation, and the security-context derivation.
+#include <gtest/gtest.h>
+
+#include "cellbricks/sap.hpp"
+
+namespace cb::cellbricks {
+namespace {
+
+// Shared fixture: one CA, one broker, two bTelcos, two subscribers.
+class SapTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kBits = 512;
+
+  SapTest() : rng_(42) {}
+
+  void SetUp() override {
+    ca_ = std::make_unique<crypto::CertificateAuthority>("root", rng_, kBits);
+    const TimePoint forever = TimePoint::zero() + Duration::s(1'000'000);
+
+    auto broker_keys = crypto::RsaKeyPair::generate(rng_, kBits);
+    broker_cert_ = ca_->issue("broker", broker_keys.public_key(), TimePoint::zero(), forever);
+    broker_pk_ = broker_keys.public_key();
+    broker_ = std::make_unique<SapBroker>("broker", std::move(broker_keys), broker_cert_,
+                                          ca_->public_key());
+
+    auto t1_keys = crypto::RsaKeyPair::generate(rng_, kBits);
+    auto t1_cert = ca_->issue("telco-1", t1_keys.public_key(), TimePoint::zero(), forever);
+    telco1_ = std::make_unique<SapTelco>("telco-1", std::move(t1_keys), t1_cert,
+                                         ca_->public_key());
+
+    auto t2_keys = crypto::RsaKeyPair::generate(rng_, kBits);
+    auto t2_cert = ca_->issue("telco-2", t2_keys.public_key(), TimePoint::zero(), forever);
+    telco2_ = std::make_unique<SapTelco>("telco-2", std::move(t2_keys), t2_cert,
+                                         ca_->public_key());
+
+    auto ue_keys = crypto::RsaKeyPair::generate(rng_, kBits);
+    broker_->add_subscriber("alice", ue_keys.public_key());
+    ue_ = std::make_unique<SapUe>("alice", "broker", std::move(ue_keys), broker_pk_);
+  }
+
+  Result<BrokerDecision> broker_process(BytesView req_t) {
+    return broker_->process_auth_req(req_t, TimePoint::zero(), rng_, QosInfo{},
+                                     /*authorize=*/nullptr);
+  }
+
+  Rng rng_;
+  std::unique_ptr<crypto::CertificateAuthority> ca_;
+  crypto::Certificate broker_cert_;
+  crypto::RsaPublicKey broker_pk_;
+  std::unique_ptr<SapBroker> broker_;
+  std::unique_ptr<SapTelco> telco1_;
+  std::unique_ptr<SapTelco> telco2_;
+  std::unique_ptr<SapUe> ue_;
+};
+
+TEST_F(SapTest, FullExchangeSucceeds) {
+  const Bytes req_u = ue_->make_auth_req("telco-1", rng_);
+  const Bytes req_t = telco1_->make_auth_req_t(req_u, QosCap{});
+  auto decision = broker_process(req_t);
+  ASSERT_TRUE(decision.ok()) << decision.error();
+  EXPECT_EQ(decision.value().id_u, "alice");
+  EXPECT_EQ(decision.value().id_t, "telco-1");
+
+  auto t_session = telco1_->process_auth_resp(decision.value().auth_resp_t, broker_cert_,
+                                              TimePoint::zero());
+  ASSERT_TRUE(t_session.ok()) << t_session.error();
+  auto u_session = ue_->process_auth_resp(decision.value().auth_resp_u);
+  ASSERT_TRUE(u_session.ok()) << u_session.error();
+
+  // Both sides derived the SAME security context from ss (= K_ASME).
+  EXPECT_EQ(t_session.value().security, u_session.value().security);
+  EXPECT_EQ(t_session.value().session_id, u_session.value().session_id);
+  EXPECT_EQ(u_session.value().id_t, "telco-1");
+}
+
+TEST_F(SapTest, TelcoNeverSeesSubscriberIdentity) {
+  const Bytes req_u = ue_->make_auth_req("telco-1", rng_);
+  // The cleartext request must not contain the subscriber id ("alice") —
+  // the anti-IMSI-catcher property.
+  const std::string as_str(req_u.begin(), req_u.end());
+  EXPECT_EQ(as_str.find("alice"), std::string::npos);
+
+  const Bytes req_t = telco1_->make_auth_req_t(req_u, QosCap{});
+  auto decision = broker_process(req_t);
+  ASSERT_TRUE(decision.ok());
+  // The bTelco-facing response carries only a pseudonym.
+  auto t_session = telco1_->process_auth_resp(decision.value().auth_resp_t, broker_cert_,
+                                              TimePoint::zero());
+  ASSERT_TRUE(t_session.ok());
+  EXPECT_EQ(t_session.value().ue_pseudonym.find("alice"), std::string::npos);
+}
+
+TEST_F(SapTest, ReplayedRequestRejected) {
+  const Bytes req_u = ue_->make_auth_req("telco-1", rng_);
+  const Bytes req_t = telco1_->make_auth_req_t(req_u, QosCap{});
+  ASSERT_TRUE(broker_process(req_t).ok());
+  // Same nonce again: replay.
+  auto replay = broker_process(req_t);
+  EXPECT_FALSE(replay.ok());
+  EXPECT_NE(replay.error().find("replay"), std::string::npos);
+}
+
+TEST_F(SapTest, RelayToDifferentTelcoRejected) {
+  // The UE authorised telco-1; telco-2 relaying the same authReqU must fail
+  // (the authVec binds idT).
+  const Bytes req_u = ue_->make_auth_req("telco-1", rng_);
+  const Bytes req_t = telco2_->make_auth_req_t(req_u, QosCap{});
+  auto decision = broker_process(req_t);
+  EXPECT_FALSE(decision.ok());
+  EXPECT_NE(decision.error().find("mismatch"), std::string::npos);
+}
+
+TEST_F(SapTest, UnknownSubscriberRejected) {
+  Rng other_rng(99);
+  auto mallory_keys = crypto::RsaKeyPair::generate(other_rng, kBits);
+  SapUe mallory("mallory", "broker", std::move(mallory_keys), broker_pk_);
+  const Bytes req_u = mallory.make_auth_req("telco-1", other_rng);
+  const Bytes req_t = telco1_->make_auth_req_t(req_u, QosCap{});
+  EXPECT_FALSE(broker_process(req_t).ok());
+}
+
+TEST_F(SapTest, StolenIdentityWrongKeyRejected) {
+  // Mallory claims to be alice but signs with her own key.
+  Rng other_rng(100);
+  auto mallory_keys = crypto::RsaKeyPair::generate(other_rng, kBits);
+  SapUe impostor("alice", "broker", std::move(mallory_keys), broker_pk_);
+  const Bytes req_u = impostor.make_auth_req("telco-1", other_rng);
+  const Bytes req_t = telco1_->make_auth_req_t(req_u, QosCap{});
+  auto decision = broker_process(req_t);
+  EXPECT_FALSE(decision.ok());
+  EXPECT_NE(decision.error().find("signature"), std::string::npos);
+}
+
+TEST_F(SapTest, UncertifiedTelcoRejected) {
+  // A bTelco whose certificate was signed by a different CA.
+  Rng other_rng(101);
+  crypto::CertificateAuthority rogue_ca("rogue", other_rng, kBits);
+  auto keys = crypto::RsaKeyPair::generate(other_rng, kBits);
+  auto cert = rogue_ca.issue("telco-evil", keys.public_key(), TimePoint::zero(),
+                             TimePoint::zero() + Duration::s(1000));
+  SapTelco evil("telco-evil", std::move(keys), cert, rogue_ca.public_key());
+
+  const Bytes req_u = ue_->make_auth_req("telco-evil", rng_);
+  const Bytes req_t = evil.make_auth_req_t(req_u, QosCap{});
+  auto decision = broker_process(req_t);
+  EXPECT_FALSE(decision.ok());
+  EXPECT_NE(decision.error().find("certificate"), std::string::npos);
+}
+
+TEST_F(SapTest, TamperedRequestRejected) {
+  const Bytes req_u = ue_->make_auth_req("telco-1", rng_);
+  Bytes req_t = telco1_->make_auth_req_t(req_u, QosCap{});
+  for (std::size_t offset : {req_t.size() / 4, req_t.size() / 2, req_t.size() - 1}) {
+    Bytes bad = req_t;
+    bad[offset] ^= 0x01;
+    EXPECT_FALSE(broker_process(bad).ok()) << "offset " << offset;
+  }
+}
+
+TEST_F(SapTest, AuthorizationPolicyHookDenies) {
+  const Bytes req_u = ue_->make_auth_req("telco-1", rng_);
+  const Bytes req_t = telco1_->make_auth_req_t(req_u, QosCap{});
+  auto decision = broker_->process_auth_req(
+      req_t, TimePoint::zero(), rng_, QosInfo{},
+      [](const std::string&, const std::string&) { return false; });
+  EXPECT_FALSE(decision.ok());
+  EXPECT_NE(decision.error().find("denied"), std::string::npos);
+}
+
+TEST_F(SapTest, ResponseForOtherTelcoRejected) {
+  // telco-2 must not be able to use telco-1's authorization.
+  const Bytes req_u = ue_->make_auth_req("telco-1", rng_);
+  const Bytes req_t = telco1_->make_auth_req_t(req_u, QosCap{});
+  auto decision = broker_process(req_t);
+  ASSERT_TRUE(decision.ok());
+  auto hijack = telco2_->process_auth_resp(decision.value().auth_resp_t, broker_cert_,
+                                           TimePoint::zero());
+  EXPECT_FALSE(hijack.ok());
+}
+
+TEST_F(SapTest, UeRejectsTamperedResponse) {
+  const Bytes req_u = ue_->make_auth_req("telco-1", rng_);
+  const Bytes req_t = telco1_->make_auth_req_t(req_u, QosCap{});
+  auto decision = broker_process(req_t);
+  ASSERT_TRUE(decision.ok());
+  Bytes bad = decision.value().auth_resp_u;
+  bad[bad.size() / 2] ^= 1;
+  EXPECT_FALSE(ue_->process_auth_resp(bad).ok());
+}
+
+TEST_F(SapTest, UeRejectsReplayedResponse) {
+  const Bytes req1 = ue_->make_auth_req("telco-1", rng_);
+  auto d1 = broker_process(telco1_->make_auth_req_t(req1, QosCap{}));
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(ue_->process_auth_resp(d1.value().auth_resp_u).ok());
+
+  // New attach (new nonce) — the old response must not be accepted.
+  (void)ue_->make_auth_req("telco-1", rng_);
+  auto replay = ue_->process_auth_resp(d1.value().auth_resp_u);
+  EXPECT_FALSE(replay.ok());
+}
+
+TEST_F(SapTest, QosNegotiationClampsToCapability) {
+  QosCap cap;
+  cap.max_dl_bps = 5e6;
+  cap.max_ul_bps = 1e6;
+  QosInfo desired;
+  desired.dl_bps = 20e6;
+  desired.ul_bps = 0.5e6;
+  const QosInfo out = QosInfo::negotiate(desired, cap);
+  EXPECT_DOUBLE_EQ(out.dl_bps, 5e6);
+  EXPECT_DOUBLE_EQ(out.ul_bps, 0.5e6);
+
+  const Bytes req_u = ue_->make_auth_req("telco-1", rng_);
+  const Bytes req_t = telco1_->make_auth_req_t(req_u, cap);
+  auto decision = broker_->process_auth_req(req_t, TimePoint::zero(), rng_, desired, nullptr);
+  ASSERT_TRUE(decision.ok());
+  EXPECT_DOUBLE_EQ(decision.value().qos.dl_bps, 5e6);
+  auto t_session = telco1_->process_auth_resp(decision.value().auth_resp_t, broker_cert_,
+                                              TimePoint::zero());
+  ASSERT_TRUE(t_session.ok());
+  EXPECT_DOUBLE_EQ(t_session.value().qos.dl_bps, 5e6);
+}
+
+TEST_F(SapTest, SecurityContextDerivationIsDeterministicAndSeparated) {
+  const Bytes ss(32, 0x11);
+  const SecurityContext a = SecurityContext::derive(ss);
+  const SecurityContext b = SecurityContext::derive(ss);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.k_nas_enc, a.k_nas_int);
+  EXPECT_NE(a.k_nas_enc, a.k_as);
+  const SecurityContext c = SecurityContext::derive(Bytes(32, 0x12));
+  EXPECT_NE(a.k_nas_enc, c.k_nas_enc);
+}
+
+TEST_F(SapTest, RevokedSubscriberRejected) {
+  broker_->remove_subscriber("alice");
+  const Bytes req_u = ue_->make_auth_req("telco-1", rng_);
+  const Bytes req_t = telco1_->make_auth_req_t(req_u, QosCap{});
+  EXPECT_FALSE(broker_process(req_t).ok());
+}
+
+TEST_F(SapTest, SessionKeysDifferAcrossAttachments) {
+  auto run = [&] {
+    const Bytes req_u = ue_->make_auth_req("telco-1", rng_);
+    auto d = broker_process(telco1_->make_auth_req_t(req_u, QosCap{}));
+    EXPECT_TRUE(d.ok());
+    return d.value().ss;
+  };
+  EXPECT_NE(run(), run());
+}
+
+}  // namespace
+}  // namespace cb::cellbricks

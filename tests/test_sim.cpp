@@ -1,0 +1,126 @@
+// Unit tests for the discrete-event engine: ordering, cancellation,
+// determinism, and bounded runs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace cb::sim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(Duration::ms(30), [&] { order.push_back(3); });
+  sim.schedule(Duration::ms(10), [&] { order.push_back(1); });
+  sim.schedule(Duration::ms(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now().to_seconds(), 0.03);
+}
+
+TEST(Simulator, EqualTimesRunInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(Duration::ms(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 5) sim.schedule(Duration::ms(1), tick);
+  };
+  sim.schedule(Duration::ms(1), tick);
+  sim.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now().nanos(), Duration::ms(5).nanos());
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  EventHandle h = sim.schedule(Duration::ms(1), [&] { ran = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelAfterFireIsNoop) {
+  Simulator sim;
+  EventHandle h = sim.schedule(Duration::ms(1), [] {});
+  sim.run();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not crash
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule(Duration::ms(i * 10), [&] { ++count; });
+  }
+  sim.run_until(TimePoint::zero() + Duration::ms(35));
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.now().nanos(), Duration::ms(35).nanos());
+  sim.run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenQueueEmpty) {
+  Simulator sim;
+  sim.run_until(TimePoint::zero() + Duration::s(5));
+  EXPECT_EQ(sim.now().to_seconds(), 5.0);
+}
+
+TEST(Simulator, RunUntilSkipsCancelledHeadWithoutOvershoot) {
+  Simulator sim;
+  bool late_ran = false;
+  EventHandle head = sim.schedule(Duration::ms(1), [] {});
+  sim.schedule(Duration::ms(100), [&] { late_ran = true; });
+  head.cancel();
+  sim.run_until(TimePoint::zero() + Duration::ms(50));
+  EXPECT_FALSE(late_ran);  // the 100ms event must not leak past the deadline
+}
+
+TEST(Simulator, RunForIsRelative) {
+  Simulator sim;
+  sim.run_for(Duration::s(1));
+  sim.run_for(Duration::s(1));
+  EXPECT_EQ(sim.now().to_seconds(), 2.0);
+}
+
+TEST(Simulator, NegativeDelayThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule(Duration::ms(-1), [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, DeterministicRngAcrossRuns) {
+  std::vector<std::uint64_t> a, b;
+  {
+    Simulator sim(42);
+    for (int i = 0; i < 10; ++i) a.push_back(sim.rng().next_u64());
+  }
+  {
+    Simulator sim(42);
+    for (int i = 0; i < 10; ++i) b.push_back(sim.rng().next_u64());
+  }
+  EXPECT_EQ(a, b);
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule(Duration::ms(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+}  // namespace
+}  // namespace cb::sim
