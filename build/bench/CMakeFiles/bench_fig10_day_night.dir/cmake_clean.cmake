@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_day_night.dir/bench_fig10_day_night.cpp.o"
+  "CMakeFiles/bench_fig10_day_night.dir/bench_fig10_day_night.cpp.o.d"
+  "bench_fig10_day_night"
+  "bench_fig10_day_night.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_day_night.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_handover_timeseries.dir/bench_fig8_handover_timeseries.cpp.o"
+  "CMakeFiles/bench_fig8_handover_timeseries.dir/bench_fig8_handover_timeseries.cpp.o.d"
+  "bench_fig8_handover_timeseries"
+  "bench_fig8_handover_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_handover_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

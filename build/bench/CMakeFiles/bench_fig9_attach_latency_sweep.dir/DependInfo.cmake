@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig9_attach_latency_sweep.cpp" "bench/CMakeFiles/bench_fig9_attach_latency_sweep.dir/bench_fig9_attach_latency_sweep.cpp.o" "gcc" "bench/CMakeFiles/bench_fig9_attach_latency_sweep.dir/bench_fig9_attach_latency_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenario/CMakeFiles/cb_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/epc/CMakeFiles/cb_epc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellbricks/CMakeFiles/cb_cellbricks.dir/DependInfo.cmake"
+  "/root/repo/build/src/ran/CMakeFiles/cb_ran.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/cb_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/cb_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

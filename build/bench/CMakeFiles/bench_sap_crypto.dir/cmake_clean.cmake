@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sap_crypto.dir/bench_sap_crypto.cpp.o"
+  "CMakeFiles/bench_sap_crypto.dir/bench_sap_crypto.cpp.o.d"
+  "bench_sap_crypto"
+  "bench_sap_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sap_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

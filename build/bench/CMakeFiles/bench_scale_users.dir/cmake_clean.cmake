@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scale_users.dir/bench_scale_users.cpp.o"
+  "CMakeFiles/bench_scale_users.dir/bench_scale_users.cpp.o.d"
+  "bench_scale_users"
+  "bench_scale_users.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scale_users.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

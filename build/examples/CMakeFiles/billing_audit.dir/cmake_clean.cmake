@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/billing_audit.dir/billing_audit.cpp.o"
+  "CMakeFiles/billing_audit.dir/billing_audit.cpp.o.d"
+  "billing_audit"
+  "billing_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/billing_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

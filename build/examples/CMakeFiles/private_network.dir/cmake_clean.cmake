@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_network.dir/private_network.cpp.o"
+  "CMakeFiles/private_network.dir/private_network.cpp.o.d"
+  "private_network"
+  "private_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

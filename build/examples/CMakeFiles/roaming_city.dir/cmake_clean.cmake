@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roaming_city.dir/roaming_city.cpp.o"
+  "CMakeFiles/roaming_city.dir/roaming_city.cpp.o.d"
+  "roaming_city"
+  "roaming_city.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roaming_city.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/iperf.cpp" "src/apps/CMakeFiles/cb_apps.dir/iperf.cpp.o" "gcc" "src/apps/CMakeFiles/cb_apps.dir/iperf.cpp.o.d"
+  "/root/repo/src/apps/ping.cpp" "src/apps/CMakeFiles/cb_apps.dir/ping.cpp.o" "gcc" "src/apps/CMakeFiles/cb_apps.dir/ping.cpp.o.d"
+  "/root/repo/src/apps/video.cpp" "src/apps/CMakeFiles/cb_apps.dir/video.cpp.o" "gcc" "src/apps/CMakeFiles/cb_apps.dir/video.cpp.o.d"
+  "/root/repo/src/apps/voip.cpp" "src/apps/CMakeFiles/cb_apps.dir/voip.cpp.o" "gcc" "src/apps/CMakeFiles/cb_apps.dir/voip.cpp.o.d"
+  "/root/repo/src/apps/web.cpp" "src/apps/CMakeFiles/cb_apps.dir/web.cpp.o" "gcc" "src/apps/CMakeFiles/cb_apps.dir/web.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transport/CMakeFiles/cb_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_apps.dir/iperf.cpp.o"
+  "CMakeFiles/cb_apps.dir/iperf.cpp.o.d"
+  "CMakeFiles/cb_apps.dir/ping.cpp.o"
+  "CMakeFiles/cb_apps.dir/ping.cpp.o.d"
+  "CMakeFiles/cb_apps.dir/video.cpp.o"
+  "CMakeFiles/cb_apps.dir/video.cpp.o.d"
+  "CMakeFiles/cb_apps.dir/voip.cpp.o"
+  "CMakeFiles/cb_apps.dir/voip.cpp.o.d"
+  "CMakeFiles/cb_apps.dir/web.cpp.o"
+  "CMakeFiles/cb_apps.dir/web.cpp.o.d"
+  "libcb_apps.a"
+  "libcb_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cellbricks/billing.cpp" "src/cellbricks/CMakeFiles/cb_cellbricks.dir/billing.cpp.o" "gcc" "src/cellbricks/CMakeFiles/cb_cellbricks.dir/billing.cpp.o.d"
+  "/root/repo/src/cellbricks/brokerd.cpp" "src/cellbricks/CMakeFiles/cb_cellbricks.dir/brokerd.cpp.o" "gcc" "src/cellbricks/CMakeFiles/cb_cellbricks.dir/brokerd.cpp.o.d"
+  "/root/repo/src/cellbricks/btelco.cpp" "src/cellbricks/CMakeFiles/cb_cellbricks.dir/btelco.cpp.o" "gcc" "src/cellbricks/CMakeFiles/cb_cellbricks.dir/btelco.cpp.o.d"
+  "/root/repo/src/cellbricks/qos.cpp" "src/cellbricks/CMakeFiles/cb_cellbricks.dir/qos.cpp.o" "gcc" "src/cellbricks/CMakeFiles/cb_cellbricks.dir/qos.cpp.o.d"
+  "/root/repo/src/cellbricks/reputation.cpp" "src/cellbricks/CMakeFiles/cb_cellbricks.dir/reputation.cpp.o" "gcc" "src/cellbricks/CMakeFiles/cb_cellbricks.dir/reputation.cpp.o.d"
+  "/root/repo/src/cellbricks/sap.cpp" "src/cellbricks/CMakeFiles/cb_cellbricks.dir/sap.cpp.o" "gcc" "src/cellbricks/CMakeFiles/cb_cellbricks.dir/sap.cpp.o.d"
+  "/root/repo/src/cellbricks/ue_agent.cpp" "src/cellbricks/CMakeFiles/cb_cellbricks.dir/ue_agent.cpp.o" "gcc" "src/cellbricks/CMakeFiles/cb_cellbricks.dir/ue_agent.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/cb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ran/CMakeFiles/cb_ran.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/cb_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_cellbricks.dir/billing.cpp.o"
+  "CMakeFiles/cb_cellbricks.dir/billing.cpp.o.d"
+  "CMakeFiles/cb_cellbricks.dir/brokerd.cpp.o"
+  "CMakeFiles/cb_cellbricks.dir/brokerd.cpp.o.d"
+  "CMakeFiles/cb_cellbricks.dir/btelco.cpp.o"
+  "CMakeFiles/cb_cellbricks.dir/btelco.cpp.o.d"
+  "CMakeFiles/cb_cellbricks.dir/qos.cpp.o"
+  "CMakeFiles/cb_cellbricks.dir/qos.cpp.o.d"
+  "CMakeFiles/cb_cellbricks.dir/reputation.cpp.o"
+  "CMakeFiles/cb_cellbricks.dir/reputation.cpp.o.d"
+  "CMakeFiles/cb_cellbricks.dir/sap.cpp.o"
+  "CMakeFiles/cb_cellbricks.dir/sap.cpp.o.d"
+  "CMakeFiles/cb_cellbricks.dir/ue_agent.cpp.o"
+  "CMakeFiles/cb_cellbricks.dir/ue_agent.cpp.o.d"
+  "libcb_cellbricks.a"
+  "libcb_cellbricks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_cellbricks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

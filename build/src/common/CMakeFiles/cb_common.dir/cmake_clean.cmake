@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_common.dir/bytes.cpp.o"
+  "CMakeFiles/cb_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/cb_common.dir/log.cpp.o"
+  "CMakeFiles/cb_common.dir/log.cpp.o.d"
+  "CMakeFiles/cb_common.dir/rng.cpp.o"
+  "CMakeFiles/cb_common.dir/rng.cpp.o.d"
+  "CMakeFiles/cb_common.dir/stats.cpp.o"
+  "CMakeFiles/cb_common.dir/stats.cpp.o.d"
+  "libcb_common.a"
+  "libcb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

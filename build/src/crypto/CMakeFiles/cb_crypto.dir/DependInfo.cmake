@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/bignum.cpp" "src/crypto/CMakeFiles/cb_crypto.dir/bignum.cpp.o" "gcc" "src/crypto/CMakeFiles/cb_crypto.dir/bignum.cpp.o.d"
+  "/root/repo/src/crypto/box.cpp" "src/crypto/CMakeFiles/cb_crypto.dir/box.cpp.o" "gcc" "src/crypto/CMakeFiles/cb_crypto.dir/box.cpp.o.d"
+  "/root/repo/src/crypto/cert.cpp" "src/crypto/CMakeFiles/cb_crypto.dir/cert.cpp.o" "gcc" "src/crypto/CMakeFiles/cb_crypto.dir/cert.cpp.o.d"
+  "/root/repo/src/crypto/chacha20.cpp" "src/crypto/CMakeFiles/cb_crypto.dir/chacha20.cpp.o" "gcc" "src/crypto/CMakeFiles/cb_crypto.dir/chacha20.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/cb_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/cb_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/rsa.cpp" "src/crypto/CMakeFiles/cb_crypto.dir/rsa.cpp.o" "gcc" "src/crypto/CMakeFiles/cb_crypto.dir/rsa.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/cb_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/cb_crypto.dir/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

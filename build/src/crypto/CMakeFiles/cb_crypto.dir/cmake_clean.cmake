@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_crypto.dir/bignum.cpp.o"
+  "CMakeFiles/cb_crypto.dir/bignum.cpp.o.d"
+  "CMakeFiles/cb_crypto.dir/box.cpp.o"
+  "CMakeFiles/cb_crypto.dir/box.cpp.o.d"
+  "CMakeFiles/cb_crypto.dir/cert.cpp.o"
+  "CMakeFiles/cb_crypto.dir/cert.cpp.o.d"
+  "CMakeFiles/cb_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/cb_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/cb_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/cb_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/cb_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/cb_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/cb_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/cb_crypto.dir/sha256.cpp.o.d"
+  "libcb_crypto.a"
+  "libcb_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

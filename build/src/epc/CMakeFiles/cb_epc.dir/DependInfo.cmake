@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/epc/auth.cpp" "src/epc/CMakeFiles/cb_epc.dir/auth.cpp.o" "gcc" "src/epc/CMakeFiles/cb_epc.dir/auth.cpp.o.d"
+  "/root/repo/src/epc/hss.cpp" "src/epc/CMakeFiles/cb_epc.dir/hss.cpp.o" "gcc" "src/epc/CMakeFiles/cb_epc.dir/hss.cpp.o.d"
+  "/root/repo/src/epc/mme.cpp" "src/epc/CMakeFiles/cb_epc.dir/mme.cpp.o" "gcc" "src/epc/CMakeFiles/cb_epc.dir/mme.cpp.o.d"
+  "/root/repo/src/epc/spgw.cpp" "src/epc/CMakeFiles/cb_epc.dir/spgw.cpp.o" "gcc" "src/epc/CMakeFiles/cb_epc.dir/spgw.cpp.o.d"
+  "/root/repo/src/epc/ue_nas.cpp" "src/epc/CMakeFiles/cb_epc.dir/ue_nas.cpp.o" "gcc" "src/epc/CMakeFiles/cb_epc.dir/ue_nas.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/cb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ran/CMakeFiles/cb_ran.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

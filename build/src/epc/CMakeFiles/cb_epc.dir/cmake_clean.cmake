@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_epc.dir/auth.cpp.o"
+  "CMakeFiles/cb_epc.dir/auth.cpp.o.d"
+  "CMakeFiles/cb_epc.dir/hss.cpp.o"
+  "CMakeFiles/cb_epc.dir/hss.cpp.o.d"
+  "CMakeFiles/cb_epc.dir/mme.cpp.o"
+  "CMakeFiles/cb_epc.dir/mme.cpp.o.d"
+  "CMakeFiles/cb_epc.dir/spgw.cpp.o"
+  "CMakeFiles/cb_epc.dir/spgw.cpp.o.d"
+  "CMakeFiles/cb_epc.dir/ue_nas.cpp.o"
+  "CMakeFiles/cb_epc.dir/ue_nas.cpp.o.d"
+  "libcb_epc.a"
+  "libcb_epc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_epc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_net.dir/address.cpp.o"
+  "CMakeFiles/cb_net.dir/address.cpp.o.d"
+  "CMakeFiles/cb_net.dir/link.cpp.o"
+  "CMakeFiles/cb_net.dir/link.cpp.o.d"
+  "CMakeFiles/cb_net.dir/network.cpp.o"
+  "CMakeFiles/cb_net.dir/network.cpp.o.d"
+  "CMakeFiles/cb_net.dir/node.cpp.o"
+  "CMakeFiles/cb_net.dir/node.cpp.o.d"
+  "libcb_net.a"
+  "libcb_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_ran.dir/radio.cpp.o"
+  "CMakeFiles/cb_ran.dir/radio.cpp.o.d"
+  "CMakeFiles/cb_ran.dir/rate_policy.cpp.o"
+  "CMakeFiles/cb_ran.dir/rate_policy.cpp.o.d"
+  "CMakeFiles/cb_ran.dir/trajectory.cpp.o"
+  "CMakeFiles/cb_ran.dir/trajectory.cpp.o.d"
+  "CMakeFiles/cb_ran.dir/ue_radio.cpp.o"
+  "CMakeFiles/cb_ran.dir/ue_radio.cpp.o.d"
+  "libcb_ran.a"
+  "libcb_ran.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_ran.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcb_ran.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_scenario.dir/attach_experiment.cpp.o"
+  "CMakeFiles/cb_scenario.dir/attach_experiment.cpp.o.d"
+  "CMakeFiles/cb_scenario.dir/table1.cpp.o"
+  "CMakeFiles/cb_scenario.dir/table1.cpp.o.d"
+  "CMakeFiles/cb_scenario.dir/world.cpp.o"
+  "CMakeFiles/cb_scenario.dir/world.cpp.o.d"
+  "libcb_scenario.a"
+  "libcb_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

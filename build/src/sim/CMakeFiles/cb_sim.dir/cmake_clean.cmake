@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_sim.dir/simulator.cpp.o"
+  "CMakeFiles/cb_sim.dir/simulator.cpp.o.d"
+  "libcb_sim.a"
+  "libcb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_transport.dir/mptcp.cpp.o"
+  "CMakeFiles/cb_transport.dir/mptcp.cpp.o.d"
+  "CMakeFiles/cb_transport.dir/tcp.cpp.o"
+  "CMakeFiles/cb_transport.dir/tcp.cpp.o.d"
+  "libcb_transport.a"
+  "libcb_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_billing.dir/test_billing.cpp.o"
+  "CMakeFiles/test_billing.dir/test_billing.cpp.o.d"
+  "test_billing"
+  "test_billing.pdb"
+  "test_billing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_billing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cellbricks.dir/test_cellbricks.cpp.o"
+  "CMakeFiles/test_cellbricks.dir/test_cellbricks.cpp.o.d"
+  "test_cellbricks"
+  "test_cellbricks.pdb"
+  "test_cellbricks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cellbricks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

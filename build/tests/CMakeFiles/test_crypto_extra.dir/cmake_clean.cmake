@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto_extra.dir/test_crypto_extra.cpp.o"
+  "CMakeFiles/test_crypto_extra.dir/test_crypto_extra.cpp.o.d"
+  "test_crypto_extra"
+  "test_crypto_extra.pdb"
+  "test_crypto_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

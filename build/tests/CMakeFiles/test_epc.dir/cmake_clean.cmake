@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_epc.dir/test_epc.cpp.o"
+  "CMakeFiles/test_epc.dir/test_epc.cpp.o.d"
+  "test_epc"
+  "test_epc.pdb"
+  "test_epc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_epc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mptcp.dir/test_mptcp.cpp.o"
+  "CMakeFiles/test_mptcp.dir/test_mptcp.cpp.o.d"
+  "test_mptcp"
+  "test_mptcp.pdb"
+  "test_mptcp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mptcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ran.dir/test_ran.cpp.o"
+  "CMakeFiles/test_ran.dir/test_ran.cpp.o.d"
+  "test_ran"
+  "test_ran.pdb"
+  "test_ran[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ran.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sap.dir/test_sap.cpp.o"
+  "CMakeFiles/test_sap.dir/test_sap.cpp.o.d"
+  "test_sap"
+  "test_sap.pdb"
+  "test_sap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transport_units.dir/test_transport_units.cpp.o"
+  "CMakeFiles/test_transport_units.dir/test_transport_units.cpp.o.d"
+  "test_transport_units"
+  "test_transport_units.pdb"
+  "test_transport_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transport_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

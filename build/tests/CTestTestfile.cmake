@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_tcp[1]_include.cmake")
+include("/root/repo/build/tests/test_mptcp[1]_include.cmake")
+include("/root/repo/build/tests/test_ran[1]_include.cmake")
+include("/root/repo/build/tests/test_epc[1]_include.cmake")
+include("/root/repo/build/tests/test_sap[1]_include.cmake")
+include("/root/repo/build/tests/test_billing[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_cellbricks[1]_include.cmake")
+include("/root/repo/build/tests/test_transport_units[1]_include.cmake")
+include("/root/repo/build/tests/test_scenario[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto_extra[1]_include.cmake")

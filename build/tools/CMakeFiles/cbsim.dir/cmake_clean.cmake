@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbsim.dir/cbsim.cpp.o"
+  "CMakeFiles/cbsim.dir/cbsim.cpp.o.d"
+  "cbsim"
+  "cbsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
