@@ -50,7 +50,7 @@ void Brokerd::handle(const net::Packet& packet) {
         if (msg == BrokerMsg::AuthReq) {
           handle_auth(from, r);
         } else if (msg == BrokerMsg::Report) {
-          handle_report(r);
+          handle_report(from, r);
         }
       } catch (const std::out_of_range&) {
         CB_LOG(Warn, "brokerd") << "malformed message dropped";
@@ -68,7 +68,7 @@ void Brokerd::handle_auth(const net::EndPoint& from, ByteReader& r) {
   const auto cache_key = std::make_pair(
       static_cast<std::uint64_t>(from.addr.value()) << 16 | from.port, txn);
   if (auto cached = reply_cache_.find(cache_key); cached != reply_cache_.end()) {
-    reply(from, cached->second);
+    reply(from, cached->second.payload);
     return;
   }
 
@@ -111,15 +111,19 @@ void Brokerd::handle_auth(const net::EndPoint& from, ByteReader& r) {
   w.bytes(d.auth_resp_t);
   w.bytes(d.auth_resp_u);
   Bytes payload = w.take();
-  reply_cache_[cache_key] = payload;
+  reply_cache_[cache_key] = CachedReply{payload, node_.simulator().now()};
+  ensure_sweeper();
   reply(from, std::move(payload));
 }
 
-void Brokerd::handle_report(ByteReader& r) {
+void Brokerd::handle_report(const net::EndPoint& from, ByteReader& r) {
   ++reports_received_;
+  const std::uint64_t seq = r.u64();
   const Bytes sealed = r.bytes();
   auto opened = sap_.open_box(sealed);
   if (!opened) {
+    // No ACK: an in-flight corruption may have mangled the box, in which
+    // case the sender's retransmission of the clean copy will succeed.
     ++reports_rejected_;
     return;
   }
@@ -150,6 +154,13 @@ void Brokerd::handle_report(ByteReader& r) {
       ++reports_rejected_;
       return;
     }
+    // Authenticated and decoded: ACK so the reporter stops retransmitting.
+    // Duplicates and policy rejections are acked too — retransmitting them
+    // could never change the outcome.
+    ByteWriter ack;
+    ack.u8(static_cast<std::uint8_t>(BrokerMsg::ReportAck));
+    ack.u64(seq);
+    reply(from, ack.take());
     ingest_report(reporter_id, type, report.value());
   } catch (const std::out_of_range&) {
     ++reports_rejected_;
@@ -172,12 +183,23 @@ void Brokerd::ingest_report(const std::string& reporter_id, Reporter type,
                             << " not a party of session";
     return;
   }
+  // Dedup BEFORE touching the cumulative counters: a retransmitted report
+  // (lost ACK, eager retry timer) must not inflate the billed usage.
+  const std::uint64_t seen_key =
+      (static_cast<std::uint64_t>(report.period) << 1) | static_cast<std::uint64_t>(type);
+  if (!rec.seen.insert(seen_key).second) {
+    ++reports_deduped_;
+    return;
+  }
+  ++reports_ingested_;
   if (type == Reporter::Ue) {
     rec.ue_dl_bytes += report.dl_bytes;
   } else {
     rec.telco_dl_bytes += report.dl_bytes;
   }
-  pending_reports_[{report.session_id, report.period, static_cast<int>(type)}] = report;
+  pending_reports_[{report.session_id, report.period, static_cast<int>(type)}] =
+      PendingReport{report, node_.simulator().now()};
+  ensure_sweeper();
   compare_if_paired(report.session_id, report.period);
 }
 
@@ -189,9 +211,10 @@ void Brokerd::compare_if_paired(std::uint64_t session_id, std::uint32_t period) 
   if (ue_it == pending_reports_.end() || t_it == pending_reports_.end()) return;
 
   SessionRecord& rec = sessions_[session_id];
-  const PairVerdict verdict = reputation_.compare(ue_it->second, t_it->second);
+  const PairVerdict verdict = reputation_.compare(ue_it->second.report, t_it->second.report);
   reputation_.record(rec.id_u, rec.id_t, verdict);
   rec.pairs_compared += 1;
+  ++pairs_compared_total_;
   if (verdict.mismatch) {
     rec.mismatches += 1;
     CB_LOG(Info, "brokerd") << "billing mismatch: session " << session_id << " period "
@@ -200,6 +223,51 @@ void Brokerd::compare_if_paired(std::uint64_t session_id, std::uint32_t period) 
   }
   pending_reports_.erase(ue_it);
   pending_reports_.erase(t_it);
+}
+
+void Brokerd::ensure_sweeper() {
+  // Lazy housekeeping timer: runs only while there is state to expire, so a
+  // quiescent broker leaves the event queue empty (Simulator::run returns).
+  if (sweep_timer_.pending()) return;
+  sweep_timer_ = node_.simulator().schedule(config_.gc_interval, [this] { sweep(); });
+}
+
+void Brokerd::sweep() {
+  const TimePoint now = node_.simulator().now();
+
+  // Unpaired-report timeout: the counterpart never arrived. Charge the
+  // absent side with a missing-counterpart verdict instead of leaking the
+  // pending entry forever.
+  for (auto it = pending_reports_.begin(); it != pending_reports_.end();) {
+    if (now - it->second.received_at < config_.pair_timeout) {
+      ++it;
+      continue;
+    }
+    const auto& [session_id, period, present_side] = it->first;
+    const Reporter missing = static_cast<Reporter>(present_side) == Reporter::Ue
+                                 ? Reporter::Telco
+                                 : Reporter::Ue;
+    if (auto sit = sessions_.find(session_id); sit != sessions_.end()) {
+      reputation_.record_missing(sit->second.id_u, sit->second.id_t, missing);
+    }
+    ++unpaired_expired_;
+    CB_LOG(Info, "brokerd") << "report pair timeout: session " << session_id << " period "
+                            << period << " missing "
+                            << (missing == Reporter::Ue ? "UE" : "bTelco") << " report";
+    it = pending_reports_.erase(it);
+  }
+
+  for (auto it = reply_cache_.begin(); it != reply_cache_.end();) {
+    if (now - it->second.at >= config_.reply_cache_ttl) {
+      it = reply_cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  if (!pending_reports_.empty() || !reply_cache_.empty()) {
+    sweep_timer_ = node_.simulator().schedule(config_.gc_interval, [this] { sweep(); });
+  }
 }
 
 void Brokerd::reply(const net::EndPoint& to, Bytes payload) {

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <map>
+#include <set>
 #include <tuple>
 
 #include "cellbricks/billing.hpp"
@@ -23,7 +24,8 @@ enum class BrokerMsg : std::uint8_t {
   AuthReq = 1,     // u64 txn, bytes authReqT
   AuthOk = 2,      // u64 txn, bytes authRespT, bytes authRespU
   AuthErr = 3,     // u64 txn, str reason
-  Report = 4,      // bytes sealed{str reporter_id, u8 type, bytes report, bytes sig}
+  Report = 4,      // u64 seq, bytes sealed{str reporter_id, u8 type, bytes report, bytes sig}
+  ReportAck = 5,   // u64 seq — broker ack for a decoded+authenticated report
 };
 
 class Brokerd {
@@ -37,6 +39,15 @@ class Brokerd {
     /// Default subscriber plan handed to bTelcos as qosInfo.
     QosInfo default_qos{};
     ReputationConfig reputation{};
+    /// How long a report waits for its counterpart before the broker gives
+    /// up on pairing and charges the absent side with a "missing
+    /// counterpart" reputation verdict.
+    Duration pair_timeout = Duration::s(45);
+    /// Idempotent-reply cache retention: long enough to cover any bTelco
+    /// retransmission schedule, short enough to bound memory.
+    Duration reply_cache_ttl = Duration::s(30);
+    /// Housekeeping sweep cadence (pair timeouts + reply-cache eviction).
+    Duration gc_interval = Duration::s(5);
   };
 
   Brokerd(net::Node& node, SapBroker sap);
@@ -61,12 +72,24 @@ class Brokerd {
     std::uint64_t telco_dl_bytes = 0;
     std::uint64_t pairs_compared = 0;
     std::uint64_t mismatches = 0;
+    // Periods already accumulated, keyed (period << 1) | reporter — the
+    // dedup filter that keeps retransmitted reports from double-counting.
+    std::set<std::uint64_t> seen;
   };
   const SessionRecord* session(std::uint64_t session_id) const;
   std::uint64_t sessions_issued() const { return sessions_issued_; }
   std::uint64_t reports_received() const { return reports_received_; }
   std::uint64_t reports_rejected() const { return reports_rejected_; }
+  /// Reports accepted into billing state (authenticated, first copy).
+  std::uint64_t reports_ingested() const { return reports_ingested_; }
+  /// Retransmitted copies dropped by the (session, period, reporter) filter.
+  std::uint64_t reports_deduped() const { return reports_deduped_; }
+  /// Reports whose counterpart never arrived within pair_timeout.
+  std::uint64_t unpaired_expired() const { return unpaired_expired_; }
+  std::uint64_t pairs_compared_total() const { return pairs_compared_total_; }
   std::uint64_t auth_denied() const { return auth_denied_; }
+  std::size_t pending_report_count() const { return pending_reports_.size(); }
+  std::size_t reply_cache_size() const { return reply_cache_.size(); }
 
   /// Fig.7 breakdown.
   Duration busy_time() const { return queue_.busy_time(); }
@@ -79,10 +102,12 @@ class Brokerd {
  private:
   void handle(const net::Packet& packet);
   void handle_auth(const net::EndPoint& from, ByteReader& r);
-  void handle_report(ByteReader& r);
+  void handle_report(const net::EndPoint& from, ByteReader& r);
   void ingest_report(const std::string& reporter_id, Reporter type, const TrafficReport& report);
   void compare_if_paired(std::uint64_t session_id, std::uint32_t period);
   void reply(const net::EndPoint& to, Bytes payload);
+  void ensure_sweeper();
+  void sweep();
 
   net::Node& node_;
   SapBroker sap_;
@@ -95,18 +120,32 @@ class Brokerd {
   std::unordered_map<std::string, crypto::RsaPublicKey> telco_keys_;
   std::unordered_map<std::string, QosInfo> plans_;
   std::unordered_map<std::uint64_t, SessionRecord> sessions_;
-  // (session, period, reporter) -> report awaiting its counterpart
-  std::map<std::tuple<std::uint64_t, std::uint32_t, int>, TrafficReport> pending_reports_;
+  // (session, period, reporter) -> report awaiting its counterpart. The
+  // arrival timestamp drives the unpaired-report timeout.
+  struct PendingReport {
+    TrafficReport report;
+    TimePoint received_at;
+  };
+  std::map<std::tuple<std::uint64_t, std::uint32_t, int>, PendingReport> pending_reports_;
 
   // Replies cached per (requester, txn) so a bTelco's retransmission of a
   // lost response is answered idempotently instead of tripping the nonce
-  // replay check.
-  std::map<std::pair<std::uint64_t, std::uint64_t>, Bytes> reply_cache_;
+  // replay check. TTL-evicted by the sweeper.
+  struct CachedReply {
+    Bytes payload;
+    TimePoint at;
+  };
+  std::map<std::pair<std::uint64_t, std::uint64_t>, CachedReply> reply_cache_;
+  sim::EventHandle sweep_timer_;
 
   Duration sap_busy_ = Duration::zero();
   std::uint64_t sessions_issued_ = 0;
   std::uint64_t reports_received_ = 0;
   std::uint64_t reports_rejected_ = 0;
+  std::uint64_t reports_ingested_ = 0;
+  std::uint64_t reports_deduped_ = 0;
+  std::uint64_t unpaired_expired_ = 0;
+  std::uint64_t pairs_compared_total_ = 0;
   std::uint64_t auth_denied_ = 0;
 };
 

@@ -1,5 +1,8 @@
 #include "cellbricks/btelco.hpp"
 
+#include <algorithm>
+#include <vector>
+
 #include "common/log.hpp"
 
 namespace cb::cellbricks {
@@ -21,10 +24,15 @@ Btelco::Btelco(net::Network& network, net::Node& node, SapTelco sap,
       rng_(node.simulator().rng().fork(0xB7E1C0)) {
   port_ = node_.alloc_port();
   node_.bind_udp(port_, [this](const net::Packet& p) {
+    if (crashed_) return;
     try {
       ByteReader r(p.payload);
       const auto type = static_cast<BrokerMsg>(r.u8());
       const std::uint64_t txn = r.u64();
+      if (type == BrokerMsg::ReportAck) {
+        handle_report_ack(txn);
+        return;
+      }
       auto it = awaiting_broker_.find(txn);
       if (it == awaiting_broker_.end()) return;
       auto continuation = std::move(it->second);
@@ -48,6 +56,9 @@ Btelco::Btelco(net::Network& network, net::Node& node, SapTelco sap,
 
 void Btelco::handle_attach(Bytes auth_req_u, net::Node* ue_node, net::Link* radio_link,
                            AttachReply reply) {
+  // A crashed AGW never answers: the request dies on the radio control
+  // channel and the UE's attach deadline is what surfaces the failure.
+  if (crashed_) return;
   // [AGW msg 1/2] Augment the UE request with service parameters and our
   // signature, then forward it to the subscriber's broker.
   queue_.submit(config_.agw_msg, [this, auth_req_u = std::move(auth_req_u), ue_node,
@@ -133,6 +144,7 @@ void Btelco::install_session(const TelcoSession& ts, net::Node* ue_node,
   s.ip = network_.alloc_address(config_.ip_subnet);
   s.dl_sent_base = radio_link->counters(&node_).sent_bytes;
   s.ul_delivered_base = radio_link->counters(ue_node).delivered_bytes;
+  s.last_activity = node_.simulator().now();
 
   // Anchor the subscriber IP at this gateway; downlink goes straight onto
   // the radio bearer (the "tower + core appliances" are one site).
@@ -155,6 +167,7 @@ void Btelco::install_session(const TelcoSession& ts, net::Node* ue_node,
       config_.report_interval, [this, sid] { send_report(sid, /*final=*/false); });
 
   if (on_session_installed) on_session_installed(radio_link, sit->second.qos);
+  ensure_gc();
   CB_LOG(Debug, "btelco") << id() << ": session " << sit->second.pseudonym << " ip "
                           << ip.to_string();
   reply(std::make_pair(std::move(auth_resp_u), ip));
@@ -162,11 +175,12 @@ void Btelco::install_session(const TelcoSession& ts, net::Node* ue_node,
 
 void Btelco::send_report(std::uint64_t session_id, bool final_report) {
   auto it = sessions_.find(session_id);
-  if (it == sessions_.end()) return;
+  if (it == sessions_.end() || crashed_) return;
   Session& s = it->second;
 
   const std::uint64_t dl_now = downlink_sent_bytes(s);
   const std::uint64_t ul_now = uplink_delivered_bytes(s);
+  if (ul_now > s.ul_delivered_base) s.last_activity = node_.simulator().now();
   TrafficReport report;
   report.session_id = s.id;
   report.reporter = Reporter::Telco;
@@ -182,7 +196,8 @@ void Btelco::send_report(std::uint64_t session_id, bool final_report) {
   s.dl_sent_base = dl_now;
   s.ul_delivered_base = ul_now;
 
-  // Sign, seal to the broker, and ship.
+  // Sign, seal to the broker, and ship over the reliable (ACK +
+  // retransmission) report channel.
   const Bytes report_bytes = report.serialize();
   ByteWriter inner;
   inner.str(id());
@@ -191,15 +206,16 @@ void Btelco::send_report(std::uint64_t session_id, bool final_report) {
   inner.bytes(sap_.sign(report_bytes));
   const Bytes sealed = crypto::seal(broker_cert_.key(), inner.data(), rng_);
 
+  const std::uint64_t seq = next_report_seq_++;
   ByteWriter w;
   w.u8(static_cast<std::uint8_t>(BrokerMsg::Report));
+  w.u64(seq);
   w.bytes(sealed);
-  net::Packet p;
-  p.src = net::EndPoint{node_.primary_address(), port_};
-  p.dst = broker_;
-  p.proto = net::Proto::Udp;
-  p.payload = w.take();
-  node_.send(std::move(p));
+  OutstandingReport& out = outstanding_reports_[seq];
+  out.wire = w.take();
+  out.attempts_left = config_.report_attempts;
+  out.next_delay = config_.report_retry;
+  transmit_report(seq);
 
   if (!final_report) {
     s.report_timer = node_.simulator().schedule(
@@ -207,11 +223,100 @@ void Btelco::send_report(std::uint64_t session_id, bool final_report) {
   }
 }
 
+void Btelco::transmit_report(std::uint64_t seq) {
+  auto it = outstanding_reports_.find(seq);
+  if (it == outstanding_reports_.end() || crashed_) return;
+  OutstandingReport& out = it->second;
+  if (out.attempts_left <= 0) {
+    ++reports_abandoned_;
+    CB_LOG(Info, "btelco") << id() << ": report " << seq << " abandoned (no broker ACK)";
+    outstanding_reports_.erase(it);
+    return;
+  }
+  --out.attempts_left;
+  net::Packet p;
+  p.src = net::EndPoint{node_.primary_address(), port_};
+  p.dst = broker_;
+  p.proto = net::Proto::Udp;
+  p.payload = out.wire;
+  node_.send(std::move(p));
+  out.timer =
+      node_.simulator().schedule(out.next_delay, [this, seq] { transmit_report(seq); });
+  out.next_delay = std::min(out.next_delay * 2, Duration::s(30));
+}
+
+void Btelco::handle_report_ack(std::uint64_t seq) {
+  auto it = outstanding_reports_.find(seq);
+  if (it == outstanding_reports_.end()) return;
+  it->second.timer.cancel();
+  outstanding_reports_.erase(it);
+}
+
 void Btelco::handle_detach(std::uint64_t session_id) {
+  if (crashed_) return;
   auto it = sessions_.find(session_id);
   if (it == sessions_.end()) return;
   send_report(session_id, /*final=*/true);
   release_session(session_id);
+}
+
+void Btelco::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  node_.set_up(false);
+  // The AGW's in-memory state is gone: bearers drop, subscriber IPs are
+  // withdrawn, nothing is reported. UEs discover the loss via their bearer
+  // watchdog and re-attach elsewhere.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(sessions_.size());
+  for (const auto& [sid, _] : sessions_) ids.push_back(sid);
+  for (std::uint64_t sid : ids) {
+    if (auto it = sessions_.find(sid); it != sessions_.end()) {
+      it->second.radio_link->set_up(false);
+    }
+    release_session(sid);
+  }
+  for (auto& [seq, out] : outstanding_reports_) out.timer.cancel();
+  outstanding_reports_.clear();
+  awaiting_broker_.clear();
+  gc_timer_.cancel();
+  CB_LOG(Info, "btelco") << id() << ": crashed";
+}
+
+void Btelco::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  node_.set_up(true);
+  CB_LOG(Info, "btelco") << id() << ": restarted (state empty)";
+}
+
+void Btelco::ensure_gc() {
+  // Lazy: runs only while sessions exist, so an idle bTelco leaves the
+  // event queue empty and Simulator::run still terminates.
+  if (gc_timer_.pending()) return;
+  gc_timer_ = node_.simulator().schedule(config_.gc_interval, [this] { gc_sweep(); });
+}
+
+void Btelco::gc_sweep() {
+  if (crashed_) return;
+  const TimePoint now = node_.simulator().now();
+  std::vector<std::uint64_t> expired;
+  for (auto& [sid, s] : sessions_) {
+    // Refresh activity from the meter so a chatty UE that last triggered a
+    // report long ago is not reclaimed between reporting periods.
+    if (uplink_delivered_bytes(s) > s.ul_delivered_base) s.last_activity = now;
+    if (now - s.last_activity >= config_.session_timeout) expired.push_back(sid);
+  }
+  for (std::uint64_t sid : expired) {
+    CB_LOG(Info, "btelco") << id() << ": session " << sid
+                           << " inactive past timeout, reclaiming";
+    send_report(sid, /*final=*/true);
+    release_session(sid);
+    ++sessions_gced_;
+  }
+  if (!sessions_.empty()) {
+    gc_timer_ = node_.simulator().schedule(config_.gc_interval, [this] { gc_sweep(); });
+  }
 }
 
 void Btelco::release_session(std::uint64_t session_id) {

@@ -36,10 +36,16 @@ class Btelco {
     /// How long after a SAP response with no matching UE detach before the
     /// session is garbage collected (inactivity timeout).
     Duration session_timeout = Duration::s(120);
+    /// Inactivity-GC sweep cadence.
+    Duration gc_interval = Duration::s(15);
     /// Broker-request retransmission (the UDP control path can lose
     /// datagrams under degraded conditions).
     Duration broker_retry = Duration::s(1);
     int broker_attempts = 4;
+    /// Traffic-report retransmission: reports are resent with doubling
+    /// backoff until the broker ACKs or the attempts are exhausted.
+    Duration report_retry = Duration::s(1);
+    int report_attempts = 5;
   };
 
   Btelco(net::Network& network, net::Node& node, SapTelco sap,
@@ -57,10 +63,23 @@ class Btelco {
   /// release the session.
   void handle_detach(std::uint64_t session_id);
 
+  /// Fault injection: `crash` kills the provider — the node goes dark, every
+  /// session (bearers, IPs, report timers, in-flight broker transactions) is
+  /// lost, exactly as if the co-located AGW appliance rebooted. `restart`
+  /// brings the node back with empty state; UEs must re-attach via SAP.
+  void crash();
+  void restart();
+  bool crashed() const { return crashed_; }
+
   const std::string& id() const { return sap_.id_t(); }
   net::Node& node() { return node_; }
   std::size_t active_sessions() const { return sessions_.size(); }
   std::uint64_t attaches_served() const { return attaches_; }
+  /// Sessions reclaimed by the inactivity GC (UE vanished without detach).
+  std::uint64_t sessions_gced() const { return sessions_gced_; }
+  /// Reports dropped after exhausting every retransmission attempt.
+  std::uint64_t reports_abandoned() const { return reports_abandoned_; }
+  std::size_t outstanding_reports() const { return outstanding_reports_.size(); }
   Duration busy_time() const { return queue_.busy_time(); }
 
   /// Callback fired when a session is installed (the scenario uses it to
@@ -82,14 +101,30 @@ class Btelco {
     // DL measured pre-radio (what the gateway sent), UL post-radio.
     std::uint64_t dl_sent_base = 0;
     std::uint64_t ul_delivered_base = 0;
+    /// Last instant uplink bytes arrived from the UE (any live UE produces
+    /// some — at minimum its periodic reports cross the bearer). Drives the
+    /// session_timeout inactivity GC.
+    TimePoint last_activity;
     sim::EventHandle report_timer;
+  };
+
+  /// One unACKed traffic report awaiting broker confirmation.
+  struct OutstandingReport {
+    Bytes wire;  // full broker message: [Report, seq, sealed]
+    int attempts_left = 0;
+    Duration next_delay = Duration::zero();
+    sim::EventHandle timer;
   };
 
   void install_session(const TelcoSession& ts, net::Node* ue_node, net::Link* radio_link,
                        Bytes auth_resp_u, AttachReply reply);
   void send_report(std::uint64_t session_id, bool final_report);
+  void transmit_report(std::uint64_t seq);
+  void handle_report_ack(std::uint64_t seq);
   void send_to_broker_with_retry(std::uint64_t txn, Bytes payload, int attempts_left);
   void release_session(std::uint64_t session_id);
+  void ensure_gc();
+  void gc_sweep();
   std::uint64_t downlink_sent_bytes(const Session& s) const;
   std::uint64_t uplink_delivered_bytes(const Session& s) const;
 
@@ -107,7 +142,13 @@ class Btelco {
   std::unordered_map<std::uint64_t, std::function<void(ByteReader&)>> awaiting_broker_;
   std::unordered_map<std::uint64_t, Session> sessions_;  // by session id
   std::unordered_map<net::Ipv4Addr, std::uint64_t> by_ip_;
+  std::uint64_t next_report_seq_ = 1;
+  std::unordered_map<std::uint64_t, OutstandingReport> outstanding_reports_;
+  sim::EventHandle gc_timer_;
+  bool crashed_ = false;
   std::uint64_t attaches_ = 0;
+  std::uint64_t sessions_gced_ = 0;
+  std::uint64_t reports_abandoned_ = 0;
 };
 
 }  // namespace cb::cellbricks

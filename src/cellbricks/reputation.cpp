@@ -45,6 +45,20 @@ void ReputationSystem::record(const std::string& id_u, const std::string& id_t,
   }
 }
 
+void ReputationSystem::record_missing(const std::string& id_u, const std::string& id_t,
+                                      Reporter missing) {
+  if (missing == Reporter::Telco) {
+    TelcoState& t = telcos_[id_t];
+    t.weighted_mismatches += config_.missing_report_penalty;
+    t.missing_count += 1;
+  } else {
+    // A user that stops reporting may simply have vanished mid-session (dead
+    // battery, coverage hole): count it, but do not treat it as tampering
+    // evidence — only cross-bTelco mismatches feed the suspect list.
+    users_[id_u].missing_count += 1;
+  }
+}
+
 double ReputationSystem::telco_score(const std::string& id_t) const {
   auto it = telcos_.find(id_t);
   if (it == telcos_.end()) return 1.0;
@@ -59,6 +73,12 @@ bool ReputationSystem::authorize(const std::string& id_u, const std::string& id_
 std::uint64_t ReputationSystem::mismatches(const std::string& id_t) const {
   auto it = telcos_.find(id_t);
   return it == telcos_.end() ? 0 : it->second.mismatch_count;
+}
+
+std::uint64_t ReputationSystem::missing_reports(const std::string& id) const {
+  if (auto it = telcos_.find(id); it != telcos_.end()) return it->second.missing_count;
+  if (auto it = users_.find(id); it != users_.end()) return it->second.missing_count;
+  return 0;
 }
 
 }  // namespace cb::cellbricks

@@ -27,6 +27,10 @@ struct ReputationConfig {
   int suspect_distinct_telcos = 2;
   /// Mild score recovery per clean (matching) report pair.
   double recovery_per_clean_pair = 0.01;
+  /// Penalty folded into a bTelco's score when its report for a period never
+  /// arrived (the broker's unpaired-report timeout). Much milder than a
+  /// billing mismatch: losing reports is unreliability, not dishonesty.
+  double missing_report_penalty = 0.05;
 };
 
 /// Result of comparing one aligned (UE, bTelco) report pair.
@@ -47,6 +51,11 @@ class ReputationSystem {
   /// Fold a verdict for (id_u, id_t) into the scores.
   void record(const std::string& id_u, const std::string& id_t, const PairVerdict& verdict);
 
+  /// Fold a "missing counterpart" verdict: one side's report for an aligned
+  /// period never reached the broker before the pairing timeout. `missing`
+  /// names the side whose report is absent.
+  void record_missing(const std::string& id_u, const std::string& id_t, Reporter missing);
+
   /// Per-bTelco aggregate score in (0, 1]; unknown bTelcos start at 1.0.
   double telco_score(const std::string& id_t) const;
   /// Attachment authorization policy for the broker.
@@ -54,6 +63,9 @@ class ReputationSystem {
   bool is_suspect(const std::string& id_u) const { return suspects_.contains(id_u); }
 
   std::uint64_t mismatches(const std::string& id_t) const;
+  /// Reporting periods for which this party (bTelco or user) never delivered
+  /// its half of the report pair.
+  std::uint64_t missing_reports(const std::string& id) const;
   const ReputationConfig& config() const { return config_; }
 
  private:
@@ -61,9 +73,11 @@ class ReputationSystem {
     double weighted_mismatches = 0.0;
     std::uint64_t mismatch_count = 0;
     std::uint64_t clean_count = 0;
+    std::uint64_t missing_count = 0;
   };
   struct UserState {
     std::unordered_set<std::string> mismatched_telcos;
+    std::uint64_t missing_count = 0;
   };
 
   ReputationConfig config_;

@@ -1,5 +1,7 @@
 #include "cellbricks/ue_agent.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 
 namespace cb::cellbricks {
@@ -22,7 +24,18 @@ UeAgent::UeAgent(net::Network& network, net::Node& ue_node, SapUe sap,
       config_(config),
       ue_queue_(ue_node.simulator()),
       enb_queue_(ue_node.simulator()),
-      rng_(ue_node.simulator().rng().fork(0x0EA6)) {}
+      rng_(ue_node.simulator().rng().fork(0x0EA6)) {
+  // Broker ACKs for the reliable report channel arrive on the report port.
+  ue_node_.bind_udp(kUeReportPort, [this](const net::Packet& p) {
+    try {
+      ByteReader r(p.payload);
+      if (static_cast<BrokerMsg>(r.u8()) != BrokerMsg::ReportAck) return;
+      handle_report_ack(r.u64());
+    } catch (const std::out_of_range&) {
+      CB_LOG(Warn, "ue-agent") << "malformed broker ack dropped";
+    }
+  });
+}
 
 void UeAgent::attach(ran::CellId cell, std::function<void(Result<net::Ipv4Addr>)> done) {
   using R = Result<net::Ipv4Addr>;
@@ -38,35 +51,54 @@ void UeAgent::attach(ran::CellId cell, std::function<void(Result<net::Ipv4Addr>)
   auto done_shared =
       std::make_shared<std::function<void(R)>>(done ? std::move(done) : [](R) {});
 
+  // A failed attach must not leave the radio bearer admin-up: undo the
+  // optimistic set_up unless this link meanwhile serves a live session.
+  auto fail = [this, cell, site, done_shared](std::string error) {
+    ++attach_failures_;
+    if (!attached() || serving_cell_ != cell) site.radio_link->set_up(false);
+    (*done_shared)(R::err(std::move(error)));
+  };
+
+  // Deadline: a crashed AGW (or a dead control path) never answers, so the
+  // UE gives up on its own clock. Bumping the generation invalidates any
+  // continuation that might still limp in afterwards.
+  attach_deadline_.cancel();
+  attach_deadline_ =
+      ue_node_.simulator().schedule(config_.attach_timeout, [this, gen, fail] {
+        if (gen != attach_generation_) return;
+        ++attach_generation_;
+        CB_LOG(Info, "ue-agent") << id() << ": attach timed out";
+        fail("attach timeout");
+      });
+
   // [UE msg 1/2] craft authReqU (encrypt authVec to pkB, sign).
-  ue_queue_.submit(config_.ue_msg, [this, gen, cell, site, telco, done_shared] {
+  ue_queue_.submit(config_.ue_msg, [this, gen, cell, site, telco, done_shared, fail] {
     if (gen != attach_generation_) return;  // superseded by newer mobility event
     Bytes req = sap_.make_auth_req(telco->id(), rng_);
     // [eNB leg 1/2] relay to the bTelco AGW.
-    enb_queue_.submit(config_.enb_msg, [this, gen, cell, site, telco, done_shared,
+    enb_queue_.submit(config_.enb_msg, [this, gen, cell, site, telco, done_shared, fail,
                                         req = std::move(req)]() mutable {
       if (gen != attach_generation_) return;
       telco->handle_attach(
           std::move(req), &ue_node_, site.radio_link,
-          [this, gen, cell, site, telco, done_shared](
+          [this, gen, cell, site, telco, done_shared, fail](
               Result<std::pair<Bytes, net::Ipv4Addr>> result) {
             // [eNB leg 2/2] + [UE msg 2/2] verify authRespU, configure IP.
             enb_queue_.submit(config_.enb_msg, [this, gen, cell, site, telco, done_shared,
-                                                result = std::move(result)]() mutable {
+                                                fail, result = std::move(result)]() mutable {
               ue_queue_.submit(config_.ue_msg, [this, gen, cell, site, telco, done_shared,
-                                                result = std::move(result)]() mutable {
+                                                fail, result = std::move(result)]() mutable {
                 if (gen != attach_generation_) return;
+                attach_deadline_.cancel();
                 if (!result.ok()) {
-                  ++attach_failures_;
-                  (*done_shared)(Result<net::Ipv4Addr>::err(result.error()));
+                  fail(result.error());
                   return;
                 }
                 auto& [resp_u, ip] = result.value();
                 auto session = sap_.process_auth_resp(resp_u);
                 if (!session.ok()) {
-                  ++attach_failures_;
                   CB_LOG(Warn, "ue-agent") << id() << ": " << session.error();
-                  (*done_shared)(Result<net::Ipv4Addr>::err(session.error()));
+                  fail(session.error());
                   return;
                 }
 
@@ -91,17 +123,18 @@ void UeAgent::attach(ran::CellId cell, std::function<void(Result<net::Ipv4Addr>)
                 last_attach_latency_ = ue_node_.simulator().now() - attach_started_;
                 attach_latencies_.add(last_attach_latency_.to_millis());
 
-                // Flush reports accumulated while detached.
-                while (!pending_reports_.empty()) {
-                  net::Packet p;
-                  p.src = net::EndPoint{current_ip_, 4599};
-                  p.dst = broker_report_ep_;
-                  p.proto = net::Proto::Udp;
-                  p.payload = std::move(pending_reports_.front());
-                  pending_reports_.pop_front();
-                  ue_node_.send(std::move(p));
+                // Flush reports stranded while detached (oldest first).
+                std::vector<std::uint64_t> stranded;
+                stranded.reserve(outstanding_reports_.size());
+                for (auto& [seq, out] : outstanding_reports_) {
+                  if (!out.timer.pending()) stranded.push_back(seq);
+                }
+                for (std::uint64_t seq : stranded) {
+                  outstanding_reports_[seq].next_delay = config_.report_retry;
+                  transmit_report(seq);
                 }
 
+                start_watchdog();
                 if (mptcp_) mptcp_->notify_address_available(current_ip_);
                 if (on_attached) on_attached(cell, last_attach_latency_);
                 (*done_shared)(current_ip_);
@@ -110,6 +143,92 @@ void UeAgent::attach(ran::CellId cell, std::function<void(Result<net::Ipv4Addr>)
           });
     });
   });
+}
+
+void UeAgent::attach_with_recovery(ran::CellId preferred) {
+  recovery_enabled_ = true;
+  cancel_recovery();
+  in_recovery_ = true;
+  recovery_backoff_ = config_.retry_backoff;
+  outage_started_ = ue_node_.simulator().now();
+  try_attach(preferred);
+}
+
+void UeAgent::cancel_recovery() {
+  recovery_timer_.cancel();
+  in_recovery_ = false;
+}
+
+bool UeAgent::cell_blacklisted(ran::CellId cell) const {
+  auto it = blacklist_.find(cell);
+  return it != blacklist_.end() && it->second > ue_node_.simulator().now();
+}
+
+ran::CellId UeAgent::pick_candidate(ran::CellId preferred) {
+  if (preferred != 0 && !cell_blacklisted(preferred) && telco_of_cell_(preferred) != nullptr) {
+    return preferred;
+  }
+  if (candidate_source_) {
+    for (ran::CellId cell : candidate_source_()) {
+      if (!cell_blacklisted(cell) && telco_of_cell_(cell) != nullptr) return cell;
+    }
+  }
+  return 0;  // nothing usable right now: back off and retry
+}
+
+void UeAgent::try_attach(ran::CellId preferred) {
+  if (!in_recovery_ || attached()) return;
+  const ran::CellId cell = pick_candidate(preferred);
+  if (cell == 0) {
+    schedule_retry(preferred);
+    return;
+  }
+  attach(cell, [this, preferred, cell](Result<net::Ipv4Addr> result) {
+    if (!in_recovery_) return;  // cancelled meanwhile
+    if (result.ok()) {
+      in_recovery_ = false;
+      const Duration outage = ue_node_.simulator().now() - outage_started_;
+      reattach_latencies_.add(outage.to_millis());
+      CB_LOG(Info, "ue-agent") << id() << ": recovered on cell " << cell << " after "
+                               << outage.to_millis() << " ms";
+      return;
+    }
+    // This cell is sick (denied, timed out, dead AGW): skip it for a while
+    // and let the backoff pick the next-best candidate.
+    blacklist_[cell] = ue_node_.simulator().now() + config_.cell_blacklist;
+    schedule_retry(preferred);
+  });
+}
+
+void UeAgent::schedule_retry(ran::CellId preferred) {
+  recovery_timer_ = ue_node_.simulator().schedule(recovery_backoff_,
+                                                  [this, preferred] { try_attach(preferred); });
+  recovery_backoff_ = std::min(recovery_backoff_ * 2, config_.retry_backoff_max);
+}
+
+void UeAgent::start_watchdog() {
+  watchdog_timer_.cancel();
+  watchdog_timer_ =
+      ue_node_.simulator().schedule(config_.watchdog_interval, [this] { watchdog(); });
+}
+
+void UeAgent::watchdog() {
+  if (!attached()) return;
+  const ran::TowerSite site = ran_map_.site(serving_cell_);
+  const bool bearer_dead =
+      !site.radio_link->is_up() || (site.node != nullptr && !site.node->is_up());
+  if (!bearer_dead) {
+    watchdog_timer_ =
+        ue_node_.simulator().schedule(config_.watchdog_interval, [this] { watchdog(); });
+    return;
+  }
+  ++bearer_losses_;
+  const ran::CellId lost = serving_cell_;
+  CB_LOG(Info, "ue-agent") << id() << ": bearer to cell " << lost
+                           << " lost, entering recovery";
+  detach_locally();
+  blacklist_[lost] = ue_node_.simulator().now() + config_.cell_blacklist;
+  if (recovery_enabled_) attach_with_recovery(0);
 }
 
 void UeAgent::send_report(bool final_report) {
@@ -139,7 +258,10 @@ void UeAgent::send_report(bool final_report) {
   dl_sent_base_ = dl.sent_bytes;
   ul_base_ = ul.sent_bytes;
 
-  // Sign inside the "baseband", seal to the broker (§4.3).
+  // Sign inside the "baseband", seal to the broker (§4.3), ship over the
+  // reliable (ACK + retransmission) report channel. A final report sent at
+  // detach time may lose its first copy with the radio; the retransmission
+  // resumes after the next attach.
   const Bytes report_bytes = report.serialize();
   ByteWriter inner;
   inner.str(id());
@@ -149,21 +271,50 @@ void UeAgent::send_report(bool final_report) {
   const Bytes sealed = crypto::seal(sap_.broker_key(), inner.data(), rng_);
   ByteWriter w;
   w.u8(static_cast<std::uint8_t>(BrokerMsg::Report));
+  const std::uint64_t seq = next_report_seq_++;
+  w.u64(seq);
   w.bytes(sealed);
 
-  if (final_report) {
-    // The radio is about to drop: queue for delivery after the next attach.
-    pending_reports_.push_back(w.take());
-  } else {
-    net::Packet p;
-    p.src = net::EndPoint{current_ip_, 4599};
-    p.dst = broker_report_ep_;
-    p.proto = net::Proto::Udp;
-    p.payload = w.take();
-    ue_node_.send(std::move(p));
+  OutstandingReport& out = outstanding_reports_[seq];
+  out.wire = w.take();
+  out.attempts_left = config_.report_attempts;
+  out.next_delay = config_.report_retry;
+  transmit_report(seq);
+
+  if (!final_report) {
     report_timer_ =
         ue_node_.simulator().schedule(config_.report_interval, [this] { send_report(false); });
   }
+}
+
+void UeAgent::transmit_report(std::uint64_t seq) {
+  auto it = outstanding_reports_.find(seq);
+  if (it == outstanding_reports_.end()) return;
+  if (!attached()) return;  // resumed by the flush on the next attach
+  OutstandingReport& out = it->second;
+  if (out.attempts_left <= 0) {
+    ++reports_abandoned_;
+    CB_LOG(Info, "ue-agent") << id() << ": report " << seq << " abandoned (no broker ACK)";
+    outstanding_reports_.erase(it);
+    return;
+  }
+  --out.attempts_left;
+  net::Packet p;
+  p.src = net::EndPoint{current_ip_, kUeReportPort};
+  p.dst = broker_report_ep_;
+  p.proto = net::Proto::Udp;
+  p.payload = out.wire;
+  ue_node_.send(std::move(p));
+  out.timer =
+      ue_node_.simulator().schedule(out.next_delay, [this, seq] { transmit_report(seq); });
+  out.next_delay = std::min(out.next_delay * 2, Duration::s(30));
+}
+
+void UeAgent::handle_report_ack(std::uint64_t seq) {
+  auto it = outstanding_reports_.find(seq);
+  if (it == outstanding_reports_.end()) return;
+  it->second.timer.cancel();
+  outstanding_reports_.erase(it);
 }
 
 void UeAgent::detach() {
@@ -175,6 +326,10 @@ void UeAgent::detach() {
 
 void UeAgent::detach_locally() {
   report_timer_.cancel();
+  attach_deadline_.cancel();
+  watchdog_timer_.cancel();
+  // Pause report retransmission until the next attach gives us an IP again.
+  for (auto& [seq, out] : outstanding_reports_) out.timer.cancel();
   const ran::TowerSite site = ran_map_.site(serving_cell_);
   site.radio_link->set_up(false);
   ue_node_.remove_address(current_ip_);
@@ -190,15 +345,13 @@ void UeAgent::detach_locally() {
 }
 
 void UeAgent::start_mobility(ran::UeRadio& radio) {
+  if (!candidate_source_) {
+    set_candidate_source([&radio] { return radio.candidates(); });
+  }
   radio.start([this](ran::CellId /*old_cell*/, ran::CellId new_cell) {
+    cancel_recovery();
     if (attached()) detach();
-    if (new_cell != 0) {
-      attach(new_cell, [](Result<net::Ipv4Addr> result) {
-        if (!result.ok()) {
-          CB_LOG(Warn, "ue-agent") << "re-attach failed: " << result.error();
-        }
-      });
-    }
+    if (new_cell != 0) attach_with_recovery(new_cell);
   });
 }
 

@@ -6,9 +6,17 @@
 // against the new bTelco, configures the new IP, and notifies the MPTCP
 // path manager; and (iii) the baseband traffic meter whose signed reports
 // make billing verifiable (§4.3).
+//
+// Failure handling: attaches run against a deadline and retry with
+// exponential backoff, blacklisting unresponsive cells and falling back to
+// the next-best candidate; a bearer watchdog detects a dead serving link
+// (bTelco crash, radio drop) and re-enters recovery; traffic reports ride a
+// reliable channel (broker ACK + retransmission) so billing survives loss.
 #pragma once
 
-#include <deque>
+#include <map>
+#include <unordered_map>
+#include <vector>
 
 #include "cellbricks/btelco.hpp"
 #include "common/stats.hpp"
@@ -18,6 +26,9 @@
 #include "transport/mptcp.hpp"
 
 namespace cb::cellbricks {
+
+/// UDP port the UE agent sources reports from and receives broker ACKs on.
+inline constexpr std::uint16_t kUeReportPort = 4599;
 
 class UeAgent {
  public:
@@ -31,6 +42,19 @@ class UeAgent {
     /// Dishonesty knob: scale reported DL usage (1.0 = honest; <1 models a
     /// user trying to under-pay). Requires a tampered baseband.
     double underreport_factor = 1.0;
+    /// Attach deadline: if SAP has not completed by then the attempt is
+    /// abandoned (covers a crashed AGW that never answers).
+    Duration attach_timeout = Duration::s(3);
+    /// Recovery retry backoff: doubles per failed attempt up to the max.
+    Duration retry_backoff = Duration::millis(500);
+    Duration retry_backoff_max = Duration::s(8);
+    /// How long a cell that failed an attach is skipped during recovery.
+    Duration cell_blacklist = Duration::s(10);
+    /// Bearer watchdog cadence while attached (detects serving-link death).
+    Duration watchdog_interval = Duration::millis(500);
+    /// Traffic-report retransmission (mirrors the bTelco side).
+    Duration report_retry = Duration::s(1);
+    int report_attempts = 5;
   };
 
   UeAgent(net::Network& network, net::Node& ue_node, SapUe sap, const ran::RanMap& ran_map,
@@ -40,14 +64,29 @@ class UeAgent {
           Config config);
 
   /// Attach to `cell` via SAP. `done` gets the assigned IP or the error.
+  /// One-shot: a failure (denial, timeout) is reported, not retried.
   void attach(ran::CellId cell, std::function<void(Result<net::Ipv4Addr>)> done);
+
+  /// Resilient attach: try `preferred` first, then fall back to the best
+  /// non-blacklisted candidate (see set_candidate_source), retrying with
+  /// exponential backoff until some attach succeeds or cancel_recovery().
+  void attach_with_recovery(ran::CellId preferred);
+  void cancel_recovery();
+  bool in_recovery() const { return in_recovery_; }
+
+  /// Candidate cells for recovery fallback, best first (the mobility path
+  /// wires this to UeRadio::candidates).
+  void set_candidate_source(std::function<std::vector<ran::CellId>()> source) {
+    candidate_source_ = std::move(source);
+    recovery_enabled_ = true;
+  }
 
   /// Detach from the current bTelco (radio drop + IP invalidation).
   void detach();
 
   /// Host-driven mobility: subscribe to the radio's cell-change events.
-  /// Every change becomes detach + SAP re-attach; MPTCP (if wired via
-  /// set_mptcp) is told about address invalidation/availability.
+  /// Every change becomes detach + SAP re-attach with recovery; MPTCP (if
+  /// wired via set_mptcp) is told about address invalidation/availability.
   void start_mobility(ran::UeRadio& radio);
 
   /// Wire the MPTCP path manager notifications.
@@ -62,6 +101,13 @@ class UeAgent {
   Duration last_attach_latency() const { return last_attach_latency_; }
   const Summary& attach_latencies() const { return attach_latencies_; }
   std::uint64_t attach_failures() const { return attach_failures_; }
+  /// Serving-bearer losses detected by the watchdog (crash/radio fault).
+  std::uint64_t bearer_losses() const { return bearer_losses_; }
+  /// Outage-to-recovered latency per successful recovery (ms).
+  const Summary& reattach_latencies() const { return reattach_latencies_; }
+  /// Reports dropped after exhausting every retransmission attempt.
+  std::uint64_t reports_abandoned() const { return reports_abandoned_; }
+  std::size_t outstanding_reports() const { return outstanding_reports_.size(); }
   Duration ue_busy_time() const { return ue_queue_.busy_time(); }
   Duration enb_busy_time() const { return enb_queue_.busy_time(); }
 
@@ -69,8 +115,25 @@ class UeAgent {
   std::function<void(ran::CellId, Duration latency)> on_attached;
 
  private:
+  /// One unACKed traffic report awaiting broker confirmation. Transmission
+  /// pauses while detached and resumes (flush) on the next attach.
+  struct OutstandingReport {
+    Bytes wire;  // full broker message: [Report, seq, sealed]
+    int attempts_left = 0;
+    Duration next_delay = Duration::zero();
+    sim::EventHandle timer;
+  };
+
   void send_report(bool final_report);
+  void transmit_report(std::uint64_t seq);
+  void handle_report_ack(std::uint64_t seq);
   void detach_locally();  // radio + IP teardown, no bTelco signalling
+  void try_attach(ran::CellId preferred);
+  ran::CellId pick_candidate(ran::CellId preferred);
+  void schedule_retry(ran::CellId preferred);
+  void start_watchdog();
+  void watchdog();
+  bool cell_blacklisted(ran::CellId cell) const;
 
   net::Network& network_;
   net::Node& ue_node_;
@@ -97,15 +160,31 @@ class UeAgent {
   std::uint64_t dl_sent_base_ = 0;
   TimePoint session_started_;
   sim::EventHandle report_timer_;
+  sim::EventHandle attach_deadline_;
+  sim::EventHandle watchdog_timer_;
   std::uint64_t attach_generation_ = 0;
 
-  // Reports that could not be sent while detached (flushed next attach).
-  std::deque<Bytes> pending_reports_;
+  // Reliable report channel (ordered so the post-attach flush is
+  // deterministic and oldest-first).
+  std::uint64_t next_report_seq_ = 1;
+  std::map<std::uint64_t, OutstandingReport> outstanding_reports_;
+
+  // Recovery state.
+  bool recovery_enabled_ = false;
+  bool in_recovery_ = false;
+  std::function<std::vector<ran::CellId>()> candidate_source_;
+  std::unordered_map<ran::CellId, TimePoint> blacklist_;  // cell -> until
+  Duration recovery_backoff_ = Duration::zero();
+  sim::EventHandle recovery_timer_;
+  TimePoint outage_started_;
 
   TimePoint attach_started_;
   Duration last_attach_latency_ = Duration::zero();
   Summary attach_latencies_;
+  Summary reattach_latencies_;
   std::uint64_t attach_failures_ = 0;
+  std::uint64_t bearer_losses_ = 0;
+  std::uint64_t reports_abandoned_ = 0;
 };
 
 }  // namespace cb::cellbricks

@@ -91,6 +91,13 @@ void Link::start_transmit(Direction& d, Node* to) {
       if (rng_.chance(d.params.loss)) {
         ++drops_;
       } else {
+        // The corruption roll only consumes randomness when the fault is
+        // armed, so enabling it never perturbs other links' loss streams.
+        if (d.params.corrupt > 0.0 && !packet.payload.empty() &&
+            rng_.chance(d.params.corrupt)) {
+          packet.payload[rng_.next_below(packet.payload.size())] ^= 0x5A;
+          ++corrupted_;
+        }
         ++delivered_;
         d.counters.delivered_packets += 1;
         d.counters.delivered_bytes += packet.wire_size();

@@ -24,6 +24,10 @@ struct LinkParams {
   Duration delay = Duration::zero();
   /// Independent per-packet drop probability, applied at the receiver.
   double loss = 0.0;
+  /// Independent per-packet probability that one payload byte is flipped in
+  /// flight (fault injection: degraded/noisy paths). The packet still
+  /// arrives; receivers must survive the garbage.
+  double corrupt = 0.0;
   /// Drop-tail queue capacity in bytes (packets beyond this are dropped).
   std::size_t queue_bytes = 256 * 1024;
 };
@@ -54,6 +58,8 @@ class Link {
   /// Cumulative drops (queue overflow + random loss), for diagnostics.
   std::uint64_t drops() const { return drops_; }
   std::uint64_t delivered() const { return delivered_; }
+  /// Packets delivered with an injected payload corruption.
+  std::uint64_t corrupted() const { return corrupted_; }
 
   /// Per-direction byte/packet counters — the PDCP/RLC-style statistics the
   /// UE baseband meter and the bTelco accounting read.
@@ -86,6 +92,7 @@ class Link {
   bool up_ = true;
   std::uint64_t drops_ = 0;
   std::uint64_t delivered_ = 0;
+  std::uint64_t corrupted_ = 0;
   Rng rng_;
 };
 

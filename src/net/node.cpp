@@ -52,11 +52,19 @@ void Node::set_forward_hook(std::function<bool(Packet&)> hook) {
 }
 
 void Node::send(Packet packet) {
+  if (!up_) {
+    ++dropped_down_;
+    return;
+  }
   if (!packet.src.addr.valid()) packet.src.addr = primary_address();
   deliver(std::move(packet));
 }
 
 void Node::deliver(Packet packet) {
+  if (!up_) {
+    ++dropped_down_;
+    return;
+  }
   // Proxy-anchored addresses take precedence (gateway user plane).
   if (auto it = proxy_addresses_.find(packet.dst.addr); it != proxy_addresses_.end()) {
     it->second(std::move(packet));

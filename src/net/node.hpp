@@ -27,6 +27,13 @@ class Node {
   const std::string& name() const { return name_; }
   sim::Simulator& simulator() { return sim_; }
 
+  /// Fault injection: a down node drops everything — packets it would send,
+  /// receive, or forward — until brought back up. Addressing, routes, and
+  /// bound handlers survive the outage (the process is gone, the config
+  /// isn't).
+  void set_up(bool up) { up_ = up; }
+  bool is_up() const { return up_; }
+
   // --- Addressing -----------------------------------------------------
   void add_address(Ipv4Addr addr);
   void remove_address(Ipv4Addr addr);
@@ -78,6 +85,7 @@ class Node {
   std::uint64_t forwarded() const { return forwarded_; }
   std::uint64_t delivered_local() const { return delivered_local_; }
   std::uint64_t dropped_no_route() const { return dropped_no_route_; }
+  std::uint64_t dropped_down() const { return dropped_down_; }
 
  private:
   void forward(Packet&& packet);
@@ -93,9 +101,11 @@ class Node {
   std::unordered_map<std::uint16_t, UdpHandler> udp_handlers_;
   std::function<void(Packet&&)> tcp_demux_;
   std::uint16_t next_port_ = 49152;
+  bool up_ = true;
   std::uint64_t forwarded_ = 0;
   std::uint64_t delivered_local_ = 0;
   std::uint64_t dropped_no_route_ = 0;
+  std::uint64_t dropped_down_ = 0;
 };
 
 }  // namespace cb::net

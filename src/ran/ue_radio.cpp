@@ -27,6 +27,14 @@ double UeRadio::serving_rate_bps() const {
   return RadioEnvironment::achievable_rate_bps(env_.cell(serving_), position());
 }
 
+std::vector<CellId> UeRadio::candidates() const {
+  std::vector<CellId> out;
+  for (const Measurement& m : env_.scan(position(), config_.floor_dbm)) {
+    out.push_back(m.cell);
+  }
+  return out;
+}
+
 void UeRadio::measure() {
   if (!running_) return;
   const Point where = position();

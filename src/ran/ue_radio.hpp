@@ -6,6 +6,7 @@
 #pragma once
 
 #include <functional>
+#include <vector>
 
 #include "ran/radio.hpp"
 #include "ran/trajectory.hpp"
@@ -39,6 +40,10 @@ class UeRadio {
   Point position() const;
   /// Achievable PHY rate on the current serving cell at the current spot.
   double serving_rate_bps() const;
+
+  /// All currently detectable cells, strongest first — the fallback order
+  /// the attach-recovery logic walks when the preferred cell fails.
+  std::vector<CellId> candidates() const;
 
   /// Number of serving-cell changes seen so far (MTTHO statistics).
   std::uint64_t cell_changes() const { return changes_; }

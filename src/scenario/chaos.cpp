@@ -1,0 +1,143 @@
+#include "scenario/chaos.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace cb::scenario {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+ChaosResult run_chaos(const ChaosConfig& config) {
+  WorldConfig wcfg = config.world;
+  wcfg.arch = Architecture::CellBricks;
+  World world(wcfg);
+  sim::Simulator& sim = world.simulator();
+
+  // Bind the scripted faults to the freshly built world.
+  sim::FaultPlan plan;
+  for (const auto& o : config.broker_outages) {
+    plan.window(
+        "broker-outage", o.start, o.duration,
+        [&world] { world.cloud_node()->set_up(false); },
+        [&world] { world.cloud_node()->set_up(true); });
+  }
+  for (const auto& c : config.telco_crashes) {
+    plan.window(
+        "crash:btelco-" + std::to_string(c.telco), c.start, c.duration,
+        [&world, i = c.telco] { world.btelco(i)->crash(); },
+        [&world, i = c.telco] { world.btelco(i)->restart(); });
+  }
+  for (const auto& d : config.radio_drops) {
+    plan.at("radio-drop", d.at, [&world] {
+      const ran::CellId cell = world.ue_agent()->serving_cell();
+      if (cell != 0) world.ran_map().site(cell).radio_link->set_up(false);
+    });
+  }
+  for (const auto& w : config.wan_degrades) {
+    auto apply = [&world](double loss, double corrupt) {
+      for (std::size_t i = 0; i < world.n_cloud_links(); ++i) {
+        net::Link* link = world.cloud_link(i);
+        for (net::Node* end : {link->endpoint_a(), link->endpoint_b()}) {
+          net::LinkParams p = link->params(end);
+          p.loss = loss;
+          p.corrupt = corrupt;
+          link->set_params(end, p);
+        }
+      }
+    };
+    plan.window(
+        "wan-degrade", w.start, w.duration,
+        [apply, loss = w.loss, corrupt = w.corrupt] { apply(loss, corrupt); },
+        [apply] { apply(0.0, 0.0); });
+  }
+
+  sim::ChaosController chaos(sim, std::move(plan));
+  chaos.arm();
+  world.start();
+
+  // Availability sampling + determinism fingerprint.
+  ChaosResult result;
+  std::uint64_t fp = kFnvOffset;
+  std::uint64_t samples = 0, attached_samples = 0;
+  std::uint64_t samples_after = 0, attached_after = 0;
+  const TimePoint last_fault = chaos.plan().last_event();
+  const auto n_samples = static_cast<std::uint64_t>(
+      config.duration.to_seconds() / config.sample_interval.to_seconds());
+  for (std::uint64_t k = 1; k <= n_samples; ++k) {
+    const TimePoint at = TimePoint::zero() + config.sample_interval * k;
+    sim.schedule_at(at, [&, at] {
+      const bool attached = world.ue_agent()->attached();
+      ++samples;
+      attached_samples += attached ? 1 : 0;
+      if (at > last_fault) {
+        ++samples_after;
+        attached_after += attached ? 1 : 0;
+      }
+      fnv_mix(fp, attached ? 1 : 0);
+      fnv_mix(fp, world.ue_agent()->serving_cell());
+      fnv_mix(fp, chaos.active_faults());
+    });
+  }
+
+  sim.run_until(TimePoint::zero() + config.duration);
+
+  result.availability =
+      samples > 0 ? static_cast<double>(attached_samples) / static_cast<double>(samples) : 0.0;
+  result.availability_after_faults =
+      samples_after > 0
+          ? static_cast<double>(attached_after) / static_cast<double>(samples_after)
+          : result.availability;
+  result.reattach_latency_ms = world.ue_agent()->reattach_latencies();
+  result.attach_failures = world.ue_agent()->attach_failures();
+  result.bearer_losses = world.ue_agent()->bearer_losses();
+  result.ue_attached_at_end = world.ue_agent()->attached();
+  result.reports_abandoned = world.ue_agent()->reports_abandoned();
+  std::size_t sessions_at_end = 0;
+  for (std::size_t i = 0; i < world.n_btelcos(); ++i) {
+    result.sessions_gced += world.btelco(i)->sessions_gced();
+    result.reports_abandoned += world.btelco(i)->reports_abandoned();
+    sessions_at_end += world.btelco(i)->active_sessions();
+  }
+  result.orphan_sessions = sessions_at_end - (result.ue_attached_at_end ? 1 : 0);
+
+  const cellbricks::Brokerd* broker = world.brokerd();
+  result.reports_ingested = broker->reports_ingested();
+  result.reports_deduped = broker->reports_deduped();
+  result.unpaired_expired = broker->unpaired_expired();
+  result.pairs_compared = broker->pairs_compared_total();
+  result.pair_completion =
+      result.reports_ingested > 0
+          ? 2.0 * static_cast<double>(result.pairs_compared) /
+                static_cast<double>(result.reports_ingested)
+          : 0.0;
+  result.fault_log = chaos.log();
+
+  // Fold the end-state counters into the fingerprint so silent divergence
+  // in recovery bookkeeping also trips the determinism check.
+  fnv_mix(fp, result.attach_failures);
+  fnv_mix(fp, result.bearer_losses);
+  fnv_mix(fp, result.sessions_gced);
+  fnv_mix(fp, result.orphan_sessions);
+  fnv_mix(fp, result.reports_ingested);
+  fnv_mix(fp, result.reports_deduped);
+  fnv_mix(fp, result.unpaired_expired);
+  fnv_mix(fp, result.pairs_compared);
+  fnv_mix(fp, static_cast<std::uint64_t>(result.fault_log.size()));
+  result.fingerprint = fp;
+  return result;
+}
+
+}  // namespace cb::scenario

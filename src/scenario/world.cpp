@@ -57,8 +57,8 @@ void World::build_topology() {
 
     network_.connect(tower, internet_,
                      net::LinkParams{.rate_bps = 10e9, .delay = kBackhaulDelay});
-    network_.connect(tower, cloud_,
-                     net::LinkParams{.rate_bps = 1e9, .delay = config_.cloud_rtt / 2});
+    cloud_links_.push_back(network_.connect(
+        tower, cloud_, net::LinkParams{.rate_bps = 1e9, .delay = config_.cloud_rtt / 2}));
 
     net::LinkParams radio{.rate_bps = 50e6, .delay = kRadioDelay};
     radio.loss = config_.radio_loss;
@@ -132,7 +132,7 @@ void World::build_cellbricks() {
                                    ca_->public_key());
   auto ue_keys = crypto::RsaKeyPair::generate(key_rng, config_.rsa_bits);
   const crypto::RsaPublicKey broker_pk = sap_broker.certificate().key();
-  cellbricks::Brokerd::Config bcfg;
+  cellbricks::Brokerd::Config bcfg = config_.broker_config;
   brokerd_ = std::make_unique<cellbricks::Brokerd>(*cloud_, std::move(sap_broker), bcfg);
   brokerd_->add_subscriber("user-001", ue_keys.public_key());
 
@@ -143,7 +143,7 @@ void World::build_cellbricks() {
     auto keys = crypto::RsaKeyPair::generate(key_rng, config_.rsa_bits);
     auto cert = ca_->issue(id_t, keys.public_key(), TimePoint::zero(), not_after);
     cellbricks::SapTelco sap_telco(id_t, std::move(keys), std::move(cert), ca_->public_key());
-    cellbricks::Btelco::Config tcfg;
+    cellbricks::Btelco::Config tcfg = config_.btelco_config;
     tcfg.ip_subnet = static_cast<std::uint8_t>(100 + i);
     tcfg.report_interval = config_.report_interval;
     if (i == 0) tcfg.overreport_factor = config_.telco0_overreport;
@@ -155,7 +155,7 @@ void World::build_cellbricks() {
   }
 
   cellbricks::SapUe sap_ue("user-001", "broker-0", std::move(ue_keys), broker_pk);
-  cellbricks::UeAgent::Config ucfg;
+  cellbricks::UeAgent::Config ucfg = config_.ue_config;
   ucfg.underreport_factor = config_.ue_underreport;
   ucfg.report_interval = config_.report_interval;
   ue_agent_ = std::make_unique<cellbricks::UeAgent>(
@@ -177,12 +177,13 @@ void World::start() {
       if (user_cb) user_cb(cell, latency);
     };
     // Wrap the agent's mobility loop so observers see cell changes too.
+    // Fallback candidates for recovery come straight from the radio scan.
+    ue_agent_->set_candidate_source([this] { return radio_->candidates(); });
     radio_->start([this](ran::CellId old_cell, ran::CellId new_cell) {
       if (on_cell_change) on_cell_change(old_cell, new_cell);
+      ue_agent_->cancel_recovery();
       if (ue_agent_->attached()) ue_agent_->detach();
-      if (new_cell != 0) {
-        ue_agent_->attach(new_cell, [](Result<net::Ipv4Addr>) {});
-      }
+      if (new_cell != 0) ue_agent_->attach_with_recovery(new_cell);
     });
     return;
   }

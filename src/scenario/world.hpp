@@ -56,6 +56,11 @@ struct WorldConfig {
   double ue_underreport = 1.0;
   /// Billing report cadence at both the UE baseband and the bTelcos.
   Duration report_interval = Duration::s(10);
+  /// Base component configs (chaos experiments tighten timeouts here); the
+  /// world-level fields above override the corresponding members on top.
+  cellbricks::Brokerd::Config broker_config{};
+  cellbricks::Btelco::Config btelco_config{};
+  cellbricks::UeAgent::Config ue_config{};
 };
 
 class World {
@@ -78,7 +83,14 @@ class World {
   net::Network& network() { return network_; }
   net::Node* ue_node() { return ue_; }
   net::Node* server_node() { return server_; }
+  /// Fault-injection surface: the broker host, the tower<->cloud control
+  /// links, and the radio map (chaos experiments flip these up/down).
+  net::Node* cloud_node() { return cloud_; }
+  net::Link* cloud_link(std::size_t i) { return cloud_links_[i]; }
+  std::size_t n_cloud_links() const { return cloud_links_.size(); }
+  const ran::RanMap& ran_map() const { return ran_map_; }
   const net::Ipv4Addr& server_addr() const { return server_addr_; }
+  const net::Ipv4Addr& cloud_addr() const { return cloud_addr_; }
 
   ran::UeRadio& radio() { return *radio_; }
   const WorldConfig& config() const { return config_; }
@@ -116,6 +128,7 @@ class World {
   net::Ipv4Addr server_addr_;
   net::Ipv4Addr cloud_addr_;
   std::vector<net::Node*> towers_;
+  std::vector<net::Link*> cloud_links_;  // tower i <-> cloud control path
   ran::RadioEnvironment env_;
   ran::RanMap ran_map_;
   std::unique_ptr<ran::UeRadio> radio_;

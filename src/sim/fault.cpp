@@ -1,0 +1,67 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cb::sim {
+
+FaultPlan& FaultPlan::add(FaultSpec spec) {
+  specs_.push_back(std::move(spec));
+  return *this;
+}
+
+FaultPlan& FaultPlan::window(std::string name, TimePoint start, Duration duration,
+                             std::function<void()> inject, std::function<void()> heal) {
+  return add(FaultSpec{std::move(name), start, duration, std::move(inject), std::move(heal)});
+}
+
+FaultPlan& FaultPlan::at(std::string name, TimePoint when, std::function<void()> fire) {
+  return add(FaultSpec{std::move(name), when, Duration::zero(), std::move(fire), nullptr});
+}
+
+TimePoint FaultPlan::last_event() const {
+  TimePoint last = TimePoint::zero();
+  for (const FaultSpec& s : specs_) last = std::max(last, s.windowed() ? s.end() : s.start);
+  return last;
+}
+
+ChaosController::ChaosController(Simulator& sim, FaultPlan plan)
+    : sim_(sim), plan_(std::move(plan)) {}
+
+void ChaosController::arm() {
+  if (armed_) throw std::logic_error("ChaosController::arm called twice");
+  armed_ = true;
+  // Index-based capture: specs_ never changes after arm().
+  for (std::size_t i = 0; i < plan_.specs().size(); ++i) {
+    const FaultSpec& spec = plan_.specs()[i];
+    sim_.schedule_at(spec.start, [this, i] { fire(plan_.specs()[i], /*heal_phase=*/false); });
+    if (spec.windowed()) {
+      sim_.schedule_at(spec.end(), [this, i] { fire(plan_.specs()[i], /*heal_phase=*/true); });
+    }
+  }
+}
+
+void ChaosController::fire(const FaultSpec& spec, bool heal_phase) {
+  if (heal_phase) {
+    if (spec.heal) spec.heal();
+    auto it = std::find(active_.begin(), active_.end(), spec.name);
+    if (it != active_.end()) {
+      active_.erase(it);
+      --active_count_;
+    }
+    log_.push_back({sim_.now(), "heal:" + spec.name});
+  } else {
+    if (spec.inject) spec.inject();
+    if (spec.windowed()) {
+      active_.push_back(spec.name);
+      ++active_count_;
+    }
+    log_.push_back({sim_.now(), "inject:" + spec.name});
+  }
+}
+
+bool ChaosController::fault_active(const std::string& name) const {
+  return std::find(active_.begin(), active_.end(), name) != active_.end();
+}
+
+}  // namespace cb::sim

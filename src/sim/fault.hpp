@@ -1,0 +1,90 @@
+// Deterministic fault injection for chaos experiments.
+//
+// A FaultPlan is a script of named faults on the simulated clock: windowed
+// faults carry an `inject` action applied at the window start and a `heal`
+// action applied when it closes; one-shot faults only inject. The plan is
+// pure data — the actions are closures supplied by the embedding layer
+// (scenario code binds them to links, nodes, bTelcos, brokers), which keeps
+// this module free of any dependency above cb_common.
+//
+// A ChaosController schedules the plan's events on a Simulator and records
+// an ordered log of every injection/heal. Because the simulator breaks
+// timestamp ties by scheduling order, two runs of the same plan on the same
+// seed replay bit-identically — the log doubles as a determinism witness.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace cb::sim {
+
+/// One scripted fault. `duration` == zero means one-shot (no heal).
+struct FaultSpec {
+  std::string name;
+  TimePoint start;
+  Duration duration = Duration::zero();
+  std::function<void()> inject;
+  std::function<void()> heal;
+
+  bool windowed() const { return duration > Duration::zero(); }
+  TimePoint end() const { return start + duration; }
+};
+
+/// An ordered script of faults (builder-style API).
+class FaultPlan {
+ public:
+  FaultPlan& add(FaultSpec spec);
+
+  /// Fault that holds for [start, start + duration).
+  FaultPlan& window(std::string name, TimePoint start, Duration duration,
+                    std::function<void()> inject, std::function<void()> heal);
+
+  /// One-shot fault fired at `at`.
+  FaultPlan& at(std::string name, TimePoint when, std::function<void()> fire);
+
+  const std::vector<FaultSpec>& specs() const { return specs_; }
+  bool empty() const { return specs_.empty(); }
+
+  /// Instant the last scheduled action (inject or heal) runs; zero if empty.
+  TimePoint last_event() const;
+
+ private:
+  std::vector<FaultSpec> specs_;
+};
+
+/// Applies a FaultPlan to a Simulator and journals what happened.
+class ChaosController {
+ public:
+  struct LogEntry {
+    TimePoint at;
+    std::string what;  // "inject:<name>" or "heal:<name>"
+  };
+
+  ChaosController(Simulator& sim, FaultPlan plan);
+
+  /// Schedule every event of the plan. Call once, before running the sim.
+  void arm();
+
+  /// Number of windowed faults currently held open.
+  std::size_t active_faults() const { return active_count_; }
+  /// True while the named windowed fault is injected but not yet healed.
+  bool fault_active(const std::string& name) const;
+
+  const std::vector<LogEntry>& log() const { return log_; }
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  void fire(const FaultSpec& spec, bool heal_phase);
+
+  Simulator& sim_;
+  FaultPlan plan_;
+  bool armed_ = false;
+  std::size_t active_count_ = 0;
+  std::vector<std::string> active_;
+  std::vector<LogEntry> log_;
+};
+
+}  // namespace cb::sim

@@ -219,6 +219,41 @@ TEST(CellBricksBilling, UnderReportingUeFlaggedAcrossTelcos) {
   EXPECT_TRUE(world.brokerd()->reputation().is_suspect("user-001"));
 }
 
+TEST(CellBricksAttach, BrokerDenialLeavesRadioDown) {
+  // A failed attach must fully unwind: no IP, no session, and the radio
+  // bearer back down (it is optimistically raised before SAP runs).
+  World world(static_cb_config(1));
+  world.brokerd()->remove_subscriber("user-001");
+  bool failed = false;
+  world.ue_agent()->attach(1, [&](Result<net::Ipv4Addr> r) { failed = !r.ok(); });
+  world.simulator().run_for(Duration::s(5));
+  EXPECT_TRUE(failed);
+  EXPECT_FALSE(world.ue_agent()->attached());
+  EXPECT_FALSE(world.ran_map().site(1).radio_link->is_up());
+  EXPECT_EQ(world.btelco(0)->active_sessions(), 0u);
+  EXPECT_EQ(world.ue_agent()->attach_failures(), 1u);
+}
+
+TEST(CellBricksAttach, FinalReportSurvivesDetachViaRetransmission) {
+  // The final report's first copy races the radio teardown; the reliable
+  // channel must deliver it after the next attach so billing pairs close.
+  World world(static_cb_config(1));
+  bool attached = false;
+  world.ue_agent()->attach(1, [&](Result<net::Ipv4Addr> r) { attached = r.ok(); });
+  world.simulator().run_for(Duration::s(12));  // one report period
+  ASSERT_TRUE(attached);
+  world.ue_agent()->detach();
+  world.simulator().run_for(Duration::s(3));
+  bool re = false;
+  world.ue_agent()->attach(1, [&](Result<net::Ipv4Addr> r) { re = r.ok(); });
+  world.simulator().run_for(Duration::s(5));
+  ASSERT_TRUE(re);
+  // Nothing is stuck in the retransmission queue, nothing was rejected.
+  EXPECT_EQ(world.ue_agent()->outstanding_reports(), 0u);
+  EXPECT_EQ(world.brokerd()->reports_rejected(), 0u);
+  EXPECT_GE(world.brokerd()->reports_ingested(), 2u);
+}
+
 TEST(CellBricksScale, ManySequentialAttachesAllSucceed) {
   World world(static_cb_config(2));
   int ok = 0;

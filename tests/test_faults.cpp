@@ -1,0 +1,396 @@
+// Fault injection and end-to-end failure recovery: the ChaosController
+// scheduling machinery, link corruption / node-down primitives, UE attach
+// deadlines + backoff + candidate fallback, the reliable report channel
+// (broker ACK + dedup), bTelco session GC, broker reply-cache bounding, and
+// the full chaos scenario's determinism witness.
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "scenario/chaos.hpp"
+#include "scenario/world.hpp"
+#include "sim/fault.hpp"
+
+namespace cb::scenario {
+namespace {
+
+WorldConfig static_cb_config(int towers = 2) {
+  WorldConfig cfg;
+  cfg.arch = Architecture::CellBricks;
+  cfg.n_towers = towers;
+  cfg.route = RouteSpec{"static", false, 0.1, 500.0, ran::RatePolicy::unlimited()};
+  cfg.unlimited_policy = true;
+  cfg.radio_loss = 0.0;
+  return cfg;
+}
+
+// --- FaultPlan / ChaosController --------------------------------------
+
+TEST(FaultPlan, WindowsInjectAndHealOnSchedule) {
+  sim::Simulator sim(1);
+  int state = 0;
+  sim::FaultPlan plan;
+  plan.window(
+      "outage", TimePoint::zero() + Duration::s(5), Duration::s(10),
+      [&] { state = 1; }, [&] { state = 2; });
+  plan.at("blip", TimePoint::zero() + Duration::s(7), [&] { state += 10; });
+  sim::ChaosController chaos(sim, std::move(plan));
+  chaos.arm();
+
+  sim.run_until(TimePoint::zero() + Duration::s(6));
+  EXPECT_EQ(state, 1);
+  EXPECT_TRUE(chaos.fault_active("outage"));
+  EXPECT_EQ(chaos.active_faults(), 1u);
+
+  sim.run_until(TimePoint::zero() + Duration::s(8));
+  EXPECT_EQ(state, 11);  // one-shot fired inside the window
+
+  sim.run_until(TimePoint::zero() + Duration::s(20));
+  EXPECT_EQ(state, 2);
+  EXPECT_FALSE(chaos.fault_active("outage"));
+  EXPECT_EQ(chaos.active_faults(), 0u);
+
+  ASSERT_EQ(chaos.log().size(), 3u);
+  EXPECT_EQ(chaos.log()[0].what, "inject:outage");
+  EXPECT_EQ(chaos.log()[1].what, "inject:blip");
+  EXPECT_EQ(chaos.log()[2].what, "heal:outage");
+  EXPECT_EQ(chaos.plan().last_event().nanos(), (TimePoint::zero() + Duration::s(15)).nanos());
+}
+
+TEST(FaultPlan, ArmTwiceThrows) {
+  sim::Simulator sim(1);
+  sim::FaultPlan plan;
+  plan.at("x", TimePoint::zero() + Duration::s(1), [] {});
+  sim::ChaosController chaos(sim, std::move(plan));
+  chaos.arm();
+  EXPECT_THROW(chaos.arm(), std::logic_error);
+}
+
+TEST(FaultPlan, SameSeedRunsProduceIdenticalLogs) {
+  auto run = [] {
+    sim::Simulator sim(7);
+    sim::FaultPlan plan;
+    for (int i = 0; i < 5; ++i) {
+      plan.window(
+          "w" + std::to_string(i), TimePoint::zero() + Duration::millis(100 * i),
+          Duration::millis(250), [] {}, [] {});
+    }
+    sim::ChaosController chaos(sim, std::move(plan));
+    chaos.arm();
+    sim.run();
+    std::vector<std::pair<std::int64_t, std::string>> out;
+    for (const auto& e : chaos.log()) out.emplace_back(e.at.nanos(), e.what);
+    return out;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// --- Network fault primitives -----------------------------------------
+
+TEST(NetFaults, LinkCorruptionFlipsPayloadBytes) {
+  sim::Simulator sim(3);
+  net::Network network(sim);
+  net::Node* a = network.add_node("a");
+  net::Node* b = network.add_node("b");
+  network.register_address(net::Ipv4Addr(10, 0, 0, 1), a);
+  network.register_address(net::Ipv4Addr(10, 0, 0, 2), b);
+  net::LinkParams params;
+  params.corrupt = 1.0;  // every packet gets one byte flipped
+  net::Link* link = network.connect(a, b, params);
+  network.recompute_routes();
+
+  int received = 0, garbled = 0;
+  b->bind_udp(5000, [&](const net::Packet& p) {
+    ++received;
+    for (std::uint8_t byte : p.payload) {
+      if (byte != 0xAB) ++garbled;
+    }
+  });
+  for (int i = 0; i < 8; ++i) {
+    net::Packet p;
+    p.src = net::EndPoint{net::Ipv4Addr(10, 0, 0, 1), 1};
+    p.dst = net::EndPoint{net::Ipv4Addr(10, 0, 0, 2), 5000};
+    p.proto = net::Proto::Udp;
+    p.payload.assign(64, 0xAB);
+    a->send(std::move(p));
+  }
+  sim.run();
+  EXPECT_EQ(received, 8);         // corruption never drops the packet
+  EXPECT_EQ(garbled, 8);          // exactly one byte flipped per packet
+  EXPECT_EQ(link->corrupted(), 8u);
+}
+
+TEST(NetFaults, DownNodeDropsTrafficInsteadOfForwarding) {
+  sim::Simulator sim(3);
+  net::Network network(sim);
+  net::Node* a = network.add_node("a");
+  net::Node* b = network.add_node("b");
+  network.register_address(net::Ipv4Addr(10, 0, 0, 1), a);
+  network.register_address(net::Ipv4Addr(10, 0, 0, 2), b);
+  network.connect(a, b, net::LinkParams{});
+  network.recompute_routes();
+
+  int received = 0;
+  b->bind_udp(5000, [&](const net::Packet&) { ++received; });
+  b->set_up(false);
+  net::Packet p;
+  p.src = net::EndPoint{net::Ipv4Addr(10, 0, 0, 1), 1};
+  p.dst = net::EndPoint{net::Ipv4Addr(10, 0, 0, 2), 5000};
+  p.proto = net::Proto::Udp;
+  p.payload.assign(16, 0x01);
+  a->send(p);
+  sim.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_GE(b->dropped_down(), 1u);
+
+  b->set_up(true);
+  a->send(p);
+  sim.run();
+  EXPECT_EQ(received, 1);
+}
+
+// --- UE attach failure handling ---------------------------------------
+
+TEST(AttachRecovery, AttachTimesOutAgainstCrashedTelco) {
+  WorldConfig cfg = static_cb_config(1);
+  cfg.ue_config.attach_timeout = Duration::s(1);
+  World world(cfg);
+  world.btelco(0)->crash();
+
+  bool failed = false;
+  std::string error;
+  world.ue_agent()->attach(1, [&](Result<net::Ipv4Addr> r) {
+    failed = !r.ok();
+    if (failed) error = r.error();
+  });
+  world.simulator().run_for(Duration::s(5));
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(error, "attach timeout");
+  EXPECT_EQ(world.ue_agent()->attach_failures(), 1u);
+  // Satellite fix: the failed attach must not leave the bearer admin-up.
+  EXPECT_FALSE(world.ran_map().site(1).radio_link->is_up());
+}
+
+TEST(AttachRecovery, FallsBackToNextBestCellWhenPreferredIsDead) {
+  WorldConfig cfg = static_cb_config(2);
+  cfg.ue_config.attach_timeout = Duration::s(1);
+  cfg.ue_config.retry_backoff = Duration::millis(100);
+  World world(cfg);
+  world.btelco(0)->crash();
+  world.ue_agent()->set_candidate_source(
+      [] { return std::vector<ran::CellId>{1, 2}; });
+
+  world.ue_agent()->attach_with_recovery(1);
+  world.simulator().run_for(Duration::s(10));
+  EXPECT_TRUE(world.ue_agent()->attached());
+  EXPECT_EQ(world.ue_agent()->serving_cell(), 2u);  // dead cell 1 blacklisted
+  EXPECT_GE(world.ue_agent()->attach_failures(), 1u);
+  EXPECT_EQ(world.btelco(1)->active_sessions(), 1u);
+}
+
+TEST(AttachRecovery, BrokerOutageRetriedUntilHealed) {
+  WorldConfig cfg = static_cb_config(1);
+  cfg.ue_config.attach_timeout = Duration::s(1);
+  cfg.ue_config.retry_backoff = Duration::millis(200);
+  cfg.ue_config.retry_backoff_max = Duration::s(2);
+  cfg.ue_config.cell_blacklist = Duration::s(2);
+  World world(cfg);
+  world.cloud_node()->set_up(false);
+
+  world.ue_agent()->attach_with_recovery(1);
+  world.simulator().run_for(Duration::s(5));
+  EXPECT_FALSE(world.ue_agent()->attached());
+  EXPECT_GE(world.ue_agent()->attach_failures(), 1u);
+  EXPECT_TRUE(world.ue_agent()->in_recovery());
+
+  world.cloud_node()->set_up(true);
+  world.simulator().run_for(Duration::s(10));
+  EXPECT_TRUE(world.ue_agent()->attached());
+  EXPECT_FALSE(world.ue_agent()->in_recovery());
+  EXPECT_GE(world.ue_agent()->reattach_latencies().count(), 1u);
+}
+
+TEST(AttachRecovery, WatchdogDetectsBearerLossAndReattaches) {
+  WorldConfig cfg = static_cb_config(2);
+  cfg.ue_config.attach_timeout = Duration::s(1);
+  cfg.ue_config.retry_backoff = Duration::millis(100);
+  World world(cfg);
+  world.ue_agent()->set_candidate_source(
+      [] { return std::vector<ran::CellId>{1, 2}; });
+
+  world.ue_agent()->attach_with_recovery(1);
+  world.simulator().run_for(Duration::s(2));
+  ASSERT_TRUE(world.ue_agent()->attached());
+  ASSERT_EQ(world.ue_agent()->serving_cell(), 1u);
+
+  // The serving bTelco dies without any signalling.
+  world.btelco(0)->crash();
+  world.simulator().run_for(Duration::s(10));
+  EXPECT_EQ(world.ue_agent()->bearer_losses(), 1u);
+  EXPECT_TRUE(world.ue_agent()->attached());
+  EXPECT_EQ(world.ue_agent()->serving_cell(), 2u);
+}
+
+// --- Reliable reports + broker dedup ----------------------------------
+
+TEST(ReliableReports, DuplicatesAreFilteredBeforeBilling) {
+  WorldConfig cfg = static_cb_config(1);
+  // Retransmit far faster than the ACK RTT: every report is sent several
+  // times, and every copy past the first must be dropped by the dedup
+  // filter — NOT rejected, and NOT double-billed.
+  cfg.ue_config.report_retry = Duration::millis(1);
+  cfg.report_interval = Duration::s(2);
+  World world(cfg);
+
+  bool attached = false;
+  world.ue_agent()->attach(1, [&](Result<net::Ipv4Addr> r) { attached = r.ok(); });
+  world.simulator().run_for(Duration::s(11));
+  ASSERT_TRUE(attached);
+
+  EXPECT_GT(world.brokerd()->reports_deduped(), 0u);
+  EXPECT_GT(world.brokerd()->reports_ingested(), 0u);
+  EXPECT_EQ(world.brokerd()->reports_rejected(), 0u);
+  // Double-counted UE bytes would show up as billing mismatches.
+  EXPECT_EQ(world.brokerd()->reputation().mismatches("btelco-0"), 0u);
+  EXPECT_DOUBLE_EQ(world.brokerd()->reputation().telco_score("btelco-0"), 1.0);
+  // Every ACKed report left the retransmission queue.
+  EXPECT_EQ(world.ue_agent()->outstanding_reports(), 0u);
+}
+
+TEST(ReliableReports, MalformedAndTruncatedPacketsAreDropped) {
+  World world(static_cb_config(1));
+  bool attached = false;
+  world.ue_agent()->attach(1, [&](Result<net::Ipv4Addr> r) { attached = r.ok(); });
+  world.simulator().run_for(Duration::s(2));
+  ASSERT_TRUE(attached);
+
+  auto send_to_broker = [&](Bytes payload) {
+    net::Packet p;
+    p.src = net::EndPoint{world.server_addr(), 9999};
+    p.dst = net::EndPoint{world.cloud_addr(), cellbricks::kBrokerPort};
+    p.proto = net::Proto::Udp;
+    p.payload = std::move(payload);
+    world.server_node()->send(std::move(p));
+  };
+
+  // Garbage sealed box with a valid header.
+  ByteWriter garbage;
+  garbage.u8(static_cast<std::uint8_t>(cellbricks::BrokerMsg::Report));
+  garbage.u64(1);
+  garbage.bytes(Bytes(40, 0x5A));
+  send_to_broker(garbage.take());
+  // Truncated: type byte only.
+  send_to_broker(Bytes(1, static_cast<std::uint8_t>(cellbricks::BrokerMsg::Report)));
+  // Unknown message type.
+  send_to_broker(Bytes(3, 0x7F));
+
+  world.simulator().run_for(Duration::s(1));
+  EXPECT_GE(world.brokerd()->reports_rejected(), 1u);
+  // The broker survived and still serves SAP + reports.
+  world.ue_agent()->detach();
+  world.simulator().run_for(Duration::s(1));
+  bool again = false;
+  world.ue_agent()->attach(1, [&](Result<net::Ipv4Addr> r) { again = r.ok(); });
+  world.simulator().run_for(Duration::s(2));
+  EXPECT_TRUE(again);
+}
+
+// --- Session GC + reply cache bounding --------------------------------
+
+TEST(SessionGc, VanishedUeIsReclaimedByInactivityTimeout) {
+  WorldConfig cfg = static_cb_config(1);
+  cfg.btelco_config.session_timeout = Duration::s(5);
+  cfg.btelco_config.gc_interval = Duration::s(1);
+  World world(cfg);
+
+  bool attached = false;
+  world.ue_agent()->attach(1, [&](Result<net::Ipv4Addr> r) { attached = r.ok(); });
+  world.simulator().run_for(Duration::s(2));
+  ASSERT_TRUE(attached);
+  ASSERT_EQ(world.btelco(0)->active_sessions(), 1u);
+
+  // The UE vanishes mid-session: bearer gone, no detach signalling.
+  world.ran_map().site(1).radio_link->set_up(false);
+  world.simulator().run_for(Duration::s(15));
+  EXPECT_EQ(world.btelco(0)->active_sessions(), 0u);
+  EXPECT_EQ(world.btelco(0)->sessions_gced(), 1u);
+}
+
+TEST(BrokerHousekeeping, ReplyCacheIsTtlBounded) {
+  WorldConfig cfg = static_cb_config(1);
+  cfg.broker_config.reply_cache_ttl = Duration::s(2);
+  cfg.broker_config.gc_interval = Duration::s(1);
+  World world(cfg);
+
+  bool attached = false;
+  world.ue_agent()->attach(1, [&](Result<net::Ipv4Addr> r) { attached = r.ok(); });
+  world.simulator().run_for(Duration::s(1));
+  ASSERT_TRUE(attached);
+  EXPECT_GE(world.brokerd()->reply_cache_size(), 1u);
+
+  world.simulator().run_for(Duration::s(5));
+  EXPECT_EQ(world.brokerd()->reply_cache_size(), 0u);
+}
+
+TEST(BrokerHousekeeping, UnpairedReportExpiresIntoMissingVerdict) {
+  WorldConfig cfg = static_cb_config(1);
+  cfg.btelco_config.session_timeout = Duration::s(5);
+  cfg.btelco_config.gc_interval = Duration::s(1);
+  cfg.broker_config.pair_timeout = Duration::s(10);
+  cfg.broker_config.gc_interval = Duration::s(2);
+  World world(cfg);
+
+  bool attached = false;
+  world.ue_agent()->attach(1, [&](Result<net::Ipv4Addr> r) { attached = r.ok(); });
+  world.simulator().run_for(Duration::s(2));
+  ASSERT_TRUE(attached);
+
+  // UE vanishes: the bTelco's GC sends a final report whose UE counterpart
+  // can never arrive; after pair_timeout the broker charges the absent side.
+  world.ran_map().site(1).radio_link->set_up(false);
+  world.simulator().run_for(Duration::s(30));
+  EXPECT_GE(world.brokerd()->unpaired_expired(), 1u);
+  EXPECT_GE(world.brokerd()->reputation().missing_reports("user-001"), 1u);
+  EXPECT_EQ(world.brokerd()->pending_report_count(), 0u);
+  // A vanished UE is not tampering evidence.
+  EXPECT_FALSE(world.brokerd()->reputation().is_suspect("user-001"));
+}
+
+// --- Full chaos scenario ----------------------------------------------
+
+TEST(Chaos, EndToEndRecoveryAndBitIdenticalReplay) {
+  auto make = [] {
+    ChaosConfig cfg;
+    cfg.world.seed = 11;
+    cfg.world.route = suburb_day();
+    cfg.world.n_towers = 4;
+    cfg.duration = Duration::s(90);
+    cfg.world.btelco_config.session_timeout = Duration::s(15);
+    cfg.world.btelco_config.gc_interval = Duration::s(3);
+    cfg.world.ue_config.attach_timeout = Duration::s(2);
+    cfg.telco_crashes.push_back({.telco = 0,
+                                 .start = TimePoint::zero() + Duration::s(15),
+                                 .duration = Duration::s(10)});
+    cfg.broker_outages.push_back(
+        {.start = TimePoint::zero() + Duration::s(40), .duration = Duration::s(8)});
+    cfg.radio_drops.push_back({.at = TimePoint::zero() + Duration::s(60)});
+    return cfg;
+  };
+  const ChaosResult r1 = run_chaos(make());
+  const ChaosResult r2 = run_chaos(make());
+
+  // Determinism witness: identical fingerprints and fault logs.
+  EXPECT_EQ(r1.fingerprint, r2.fingerprint);
+  ASSERT_EQ(r1.fault_log.size(), r2.fault_log.size());
+  EXPECT_EQ(r1.fault_log.size(), 5u);  // 2 windows x2 + 1 one-shot
+
+  // Recovery: faults were felt, and the system healed end to end.
+  EXPECT_GE(r1.bearer_losses, 1u);
+  EXPECT_GT(r1.availability, 0.5);
+  EXPECT_GT(r1.availability_after_faults, 0.9);
+  EXPECT_TRUE(r1.ue_attached_at_end);
+  EXPECT_EQ(r1.orphan_sessions, 0u);  // every orphan was GC'd
+  EXPECT_GT(r1.pair_completion, 0.0);
+}
+
+}  // namespace
+}  // namespace cb::scenario
