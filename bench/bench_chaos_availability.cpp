@@ -8,6 +8,7 @@
 #include <cstdlib>
 
 #include "scenario/chaos.hpp"
+#include "scenario/trial_runner.hpp"
 
 using namespace cb;
 using namespace cb::scenario;
@@ -42,8 +43,12 @@ ChaosConfig make_config() {
 
 int main() {
   std::printf("=== Chaos availability: scripted faults vs recovery machinery ===\n\n");
-  const ChaosResult r1 = run_chaos(make_config());
-  const ChaosResult r2 = run_chaos(make_config());
+  // The two same-seed replicas are independent simulators, so they run
+  // concurrently on the trial pool; the determinism check compares them.
+  TrialRunner runner;
+  const auto replicas = runner.map(2, [](std::size_t) { return run_chaos(make_config()); });
+  const ChaosResult& r1 = replicas[0];
+  const ChaosResult& r2 = replicas[1];
 
   std::printf("fault schedule (as executed):\n");
   for (const auto& e : r1.fault_log) {

@@ -2,40 +2,128 @@
 // number of users under different radio conditions": an attach storm of N
 // concurrent UEs against one bTelco/brokerd (and the EPC baseline), plus a
 // control-path loss sweep exercising the SAP retransmission machinery.
+//
+// Every sweep point is an independent seeded Simulator, so points run
+// concurrently on a TrialRunner thread pool; results are collected in
+// submission order and the tables print identically to a sequential run.
+//
+// Usage: bench_scale_users [--smoke] [--json FILE]
+//   --smoke   small point set (CI schema check, not a measurement)
+//   --json    also write machine-readable results + wall-clock to FILE
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "scenario/attach_experiment.hpp"
+#include "scenario/trial_runner.hpp"
 
 using namespace cb;
 using namespace cb::scenario;
 
-int main() {
+namespace {
+
+struct StormPoint {
+  int n_ues;
+  Architecture arch;
+  double loss;
+  AttachStorm result;
+};
+
+const char* arch_name(Architecture a) { return a == Architecture::CellBricks ? "CB" : "BL"; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
+  }
+
+  const std::vector<int> storm_sizes = smoke ? std::vector<int>{1, 10}
+                                             : std::vector<int>{1, 10, 50, 100, 200};
+  const std::vector<double> losses = smoke ? std::vector<double>{0.0, 0.05}
+                                           : std::vector<double>{0.0, 0.01, 0.05, 0.10};
+  const int loss_ues = smoke ? 10 : 50;
+
+  std::vector<StormPoint> points;
+  for (int n : storm_sizes) {
+    for (Architecture arch : {Architecture::Mno, Architecture::CellBricks}) {
+      points.push_back({n, arch, 0.0, {}});
+    }
+  }
+  std::vector<StormPoint> loss_points;
+  for (double loss : losses) {
+    loss_points.push_back({loss_ues, Architecture::CellBricks, loss, {}});
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  TrialRunner runner;
+  {
+    auto storm = runner.map(points.size(), [&](std::size_t i) {
+      const StormPoint& p = points[i];
+      return run_attach_storm(p.arch, p.n_ues, Duration::millis(7.2), p.loss);
+    });
+    for (std::size_t i = 0; i < points.size(); ++i) points[i].result = storm[i];
+
+    auto swept = runner.map(loss_points.size(), [&](std::size_t i) {
+      const StormPoint& p = loss_points[i];
+      return run_attach_storm(p.arch, p.n_ues, Duration::millis(7.2), p.loss);
+    });
+    for (std::size_t i = 0; i < loss_points.size(); ++i) loss_points[i].result = swept[i];
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+
   std::printf("=== Scale: N simultaneous attach requests (one cell, brokerd at "
               "us-west RTT) ===\n\n");
   std::printf("%6s %-4s %12s %12s %10s\n", "N UEs", "arch", "mean(ms)", "p99(ms)",
               "completed");
-  for (int n : {1, 10, 50, 100, 200}) {
-    for (Architecture arch : {Architecture::Mno, Architecture::CellBricks}) {
-      const AttachStorm s =
-          run_attach_storm(arch, n, Duration::millis(7.2), /*control_loss=*/0.0);
-      std::printf("%6d %-4s %12.2f %12.2f %6d/%d\n", n,
-                  arch == Architecture::CellBricks ? "CB" : "BL", s.mean_ms, s.p99_ms,
-                  s.completed, n);
-    }
+  for (const StormPoint& p : points) {
+    std::printf("%6d %-4s %12.2f %12.2f %6d/%d\n", p.n_ues, arch_name(p.arch),
+                p.result.mean_ms, p.result.p99_ms, p.result.completed, p.n_ues);
   }
   std::printf("\n(Queueing at the serial control-plane services dominates at high N;\n"
               " CB queues once at brokerd, BL queues twice at the HSS.)\n");
 
-  std::printf("\n=== Degraded control path: 50 UEs, loss on the tower<->cloud link "
-              "(CellBricks, SAP retransmission active) ===\n\n");
+  std::printf("\n=== Degraded control path: %d UEs, loss on the tower<->cloud link "
+              "(CellBricks, SAP retransmission active) ===\n\n", loss_ues);
   std::printf("%8s %12s %12s %10s\n", "loss", "mean(ms)", "p99(ms)", "completed");
-  for (double loss : {0.0, 0.01, 0.05, 0.10}) {
-    const AttachStorm s = run_attach_storm(Architecture::CellBricks, 50,
-                                           Duration::millis(7.2), loss);
-    std::printf("%7.0f%% %12.2f %12.2f %7d/50\n", loss * 100, s.mean_ms, s.p99_ms,
-                s.completed);
+  for (const StormPoint& p : loss_points) {
+    std::printf("%7.0f%% %12.2f %12.2f %7d/%d\n", p.loss * 100, p.result.mean_ms,
+                p.result.p99_ms, p.result.completed, p.n_ues);
   }
   std::printf("\n(Lost SAP datagrams are recovered by the bTelco's 1 s retransmission;\n"
               " completion stays high while tail latency grows with loss.)\n");
+
+  std::printf("\nwall-clock: %.3f s on %u threads%s\n", wall_s, runner.thread_count(),
+              smoke ? " (smoke mode)" : "");
+
+  if (!json_path.empty()) {
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"scale_users\",\n  \"mode\": \"%s\",\n"
+                 "  \"wall_s\": %.3f,\n  \"threads\": %u,\n  \"points\": [\n",
+                 smoke ? "smoke" : "full", wall_s, runner.thread_count());
+    bool first = true;
+    auto emit = [&](const StormPoint& p) {
+      std::fprintf(f,
+                   "%s    {\"n_ues\": %d, \"arch\": \"%s\", \"loss\": %.2f, "
+                   "\"mean_ms\": %.2f, \"p99_ms\": %.2f, \"completed\": %d}",
+                   first ? "" : ",\n", p.n_ues, arch_name(p.arch), p.loss,
+                   p.result.mean_ms, p.result.p99_ms, p.result.completed);
+      first = false;
+    };
+    for (const StormPoint& p : points) emit(p);
+    for (const StormPoint& p : loss_points) emit(p);
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+  }
   return 0;
 }

@@ -35,7 +35,7 @@ const Brokerd::SessionRecord* Brokerd::session(std::uint64_t session_id) const {
 }
 
 void Brokerd::handle(const net::Packet& packet) {
-  Bytes payload = packet.payload;
+  CowBytes payload = packet.payload;  // O(1) share into the service closure
   const net::EndPoint from = packet.src;
   try {
     ByteReader peek(payload);

@@ -1,0 +1,88 @@
+// Copy-on-write byte buffer for packet payloads.
+//
+// A packet is copied at every hop of the simulated network (link queues,
+// serialization/propagation closures, node forwarding, proxy fan-out), but
+// its payload is almost never modified in flight — the single exception is
+// injected corruption. CowBytes makes those copies O(1) by sharing one
+// immutable buffer; `mutate()` materializes a private copy only when a
+// writer actually appears.
+//
+// The read API mirrors the subset of std::vector<uint8_t> the codebase uses
+// on payloads (size/empty/index/iterate/implicit BytesView), so call sites
+// stay idiomatic. There is deliberately no implicit conversion back to
+// Bytes: a deep copy must be visible at the call site (`to_bytes()`).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "common/bytes.hpp"
+
+namespace cb {
+
+class CowBytes {
+ public:
+  CowBytes() = default;
+  CowBytes(Bytes b)  // NOLINT(google-explicit-constructor): payload = <Bytes expr>
+      : data_(b.empty() ? nullptr : std::make_shared<Bytes>(std::move(b))) {}
+
+  CowBytes& operator=(Bytes b) {
+    data_ = b.empty() ? nullptr : std::make_shared<Bytes>(std::move(b));
+    return *this;
+  }
+
+  // Copies/moves of CowBytes itself share the buffer (that is the point).
+  CowBytes(const CowBytes&) = default;
+  CowBytes(CowBytes&&) noexcept = default;
+  CowBytes& operator=(const CowBytes&) = default;
+  CowBytes& operator=(CowBytes&&) noexcept = default;
+
+  std::size_t size() const { return data_ ? data_->size() : 0; }
+  bool empty() const { return size() == 0; }
+
+  const std::uint8_t* data() const { return data_ ? data_->data() : nullptr; }
+  std::uint8_t operator[](std::size_t i) const { return (*data_)[i]; }
+
+  Bytes::const_iterator begin() const { return data_ ? data_->begin() : empty_().begin(); }
+  Bytes::const_iterator end() const { return data_ ? data_->end() : empty_().end(); }
+
+  BytesView view() const { return data_ ? BytesView{*data_} : BytesView{}; }
+  operator BytesView() const { return view(); }  // NOLINT(google-explicit-constructor)
+
+  void assign(std::size_t n, std::uint8_t v) {
+    data_ = n == 0 ? nullptr : std::make_shared<Bytes>(n, v);
+  }
+
+  /// Deep copy out (the only way back to an owned Bytes).
+  Bytes to_bytes() const { return data_ ? *data_ : Bytes{}; }
+
+  /// Writable reference to a private copy: clones the buffer first if it is
+  /// shared with other packets. Only the corruption-injection path uses it.
+  Bytes& mutate() {
+    if (!data_) {
+      data_ = std::make_shared<Bytes>();
+    } else if (data_.use_count() > 1) {
+      data_ = std::make_shared<Bytes>(*data_);
+    }
+    return *data_;
+  }
+
+  friend bool operator==(const CowBytes& a, const CowBytes& b) {
+    if (a.data_ == b.data_) return true;
+    return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator==(const CowBytes& a, const Bytes& b) {
+    return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  static const Bytes& empty_() {
+    static const Bytes kEmpty;
+    return kEmpty;
+  }
+
+  std::shared_ptr<Bytes> data_;  // never exposed mutably while shared
+};
+
+}  // namespace cb

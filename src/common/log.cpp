@@ -5,7 +5,9 @@
 namespace cb::log_detail {
 
 namespace {
-TimePoint (*g_time_source)() = nullptr;
+// thread_local: each worker thread in a parallel sweep runs its own
+// simulator, and log timestamps must come from that thread's engine.
+thread_local TimePoint (*g_time_source)() = nullptr;
 
 const char* level_name(LogLevel level) {
   switch (level) {

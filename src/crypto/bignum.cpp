@@ -267,6 +267,12 @@ DivMod BigNum::divmod(const BigNum& divisor) const {
 
 BigNum BigNum::powmod(const BigNum& exponent, const BigNum& m) const {
   if (m.is_zero()) throw std::invalid_argument("BigNum: powmod modulus zero");
+  if (m.is_odd() && m > BigNum{1}) return Montgomery(m).pow(*this, exponent);
+  return powmod_reference(exponent, m);
+}
+
+BigNum BigNum::powmod_reference(const BigNum& exponent, const BigNum& m) const {
+  if (m.is_zero()) throw std::invalid_argument("BigNum: powmod modulus zero");
   BigNum result{1};
   BigNum base = this->mod(m);
   const std::size_t nbits = exponent.bit_length();
@@ -275,6 +281,174 @@ BigNum BigNum::powmod(const BigNum& exponent, const BigNum& m) const {
     base = (base * base).mod(m);
   }
   return result;
+}
+
+Montgomery::Limbs Montgomery::to_limbs(const BigNum& v, std::size_t s) {
+  Limbs out(s, 0);
+  for (std::size_t i = 0; i < v.limbs_.size(); ++i) {
+    out[i / 2] |= static_cast<std::uint64_t>(v.limbs_[i]) << (32 * (i % 2));
+  }
+  return out;
+}
+
+BigNum Montgomery::from_limbs(const Limbs& v) {
+  BigNum out;
+  out.limbs_.resize(v.size() * 2, 0);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out.limbs_[2 * i] = static_cast<std::uint32_t>(v[i]);
+    out.limbs_[2 * i + 1] = static_cast<std::uint32_t>(v[i] >> 32);
+  }
+  out.trim();
+  return out;
+}
+
+Montgomery::Montgomery(const BigNum& modulus) : modulus_(modulus) {
+  if (!modulus.is_odd() || !(modulus > BigNum{1})) {
+    throw std::invalid_argument("Montgomery: modulus must be odd and > 1");
+  }
+  const std::size_t s = (modulus.limbs_.size() + 1) / 2;
+  n_ = to_limbs(modulus, s);
+
+  // n0inv = -n^-1 mod 2^64 by Newton iteration: for odd x, x is its own
+  // inverse mod 8, and each step doubles the number of correct bits
+  // (3 -> 6 -> 12 -> 24 -> 48 -> 96 covers 64).
+  std::uint64_t inv = n_[0];
+  for (int i = 0; i < 5; ++i) inv *= 2u - n_[0] * inv;
+  n0inv_ = ~inv + 1u;  // -inv mod 2^64
+
+  // R^2 mod n where R = 2^(64s): one big division at setup time.
+  rr_ = to_limbs((BigNum{1} << (128 * s)).mod(modulus), s);
+}
+
+void Montgomery::mul(const std::uint64_t* a, const std::uint64_t* b, std::uint64_t* out) const {
+  // CIOS (coarsely integrated operand scanning): interleave the multiply
+  // by b[i] with the Montgomery reduction step, keeping the accumulator at
+  // s+2 limbs. All terms fit in 128 bits: (2^64-1)^2 + 2*(2^64-1) = 2^128-1.
+  using u128 = unsigned __int128;
+  const std::size_t s = n_.size();
+  // Stack scratch for every practical modulus (<= 2048 bits); the CIOS
+  // accumulator needs s+2 limbs and a heap allocation per multiply would
+  // dominate small-exponent exponentiations.
+  std::uint64_t stack_buf[34];
+  Limbs heap_buf;
+  std::uint64_t* t = stack_buf;
+  if (s + 2 > 34) {
+    heap_buf.assign(s + 2, 0);
+    t = heap_buf.data();
+  } else {
+    std::fill(stack_buf, stack_buf + s + 2, 0u);
+  }
+  for (std::size_t i = 0; i < s; ++i) {
+    const u128 bi = b[i];
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < s; ++j) {
+      const u128 cur = t[j] + a[j] * bi + carry;
+      t[j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    u128 cur = static_cast<u128>(t[s]) + carry;
+    t[s] = static_cast<std::uint64_t>(cur);
+    t[s + 1] = static_cast<std::uint64_t>(cur >> 64);
+
+    const u128 m = t[0] * n0inv_;  // low 64 bits only
+    const std::uint64_t m64 = static_cast<std::uint64_t>(m);
+    carry = static_cast<std::uint64_t>((t[0] + static_cast<u128>(m64) * n_[0]) >> 64);
+    for (std::size_t j = 1; j < s; ++j) {
+      const u128 c2 = t[j] + static_cast<u128>(m64) * n_[j] + carry;
+      t[j - 1] = static_cast<std::uint64_t>(c2);
+      carry = static_cast<std::uint64_t>(c2 >> 64);
+    }
+    cur = static_cast<u128>(t[s]) + carry;
+    t[s - 1] = static_cast<std::uint64_t>(cur);
+    t[s] = t[s + 1] + static_cast<std::uint64_t>(cur >> 64);
+    t[s + 1] = 0;
+  }
+
+  // Final conditional subtraction: result is in [0, 2n).
+  bool ge = t[s] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = s; i-- > 0;) {
+      if (t[i] != n_[i]) {
+        ge = t[i] > n_[i];
+        break;
+      }
+    }
+  }
+  if (ge) {
+    std::uint64_t borrow = 0;
+    for (std::size_t i = 0; i < s; ++i) {
+      const std::uint64_t ni = n_[i];
+      const std::uint64_t ti = t[i];
+      out[i] = ti - ni - borrow;
+      borrow = (ti < ni + borrow) || (borrow && ni + borrow == 0) ? 1u : 0u;
+    }
+  } else {
+    std::copy(t, t + s, out);
+  }
+}
+
+BigNum Montgomery::pow(const BigNum& base, const BigNum& exponent) const {
+  const std::size_t s = n_.size();
+
+  if (exponent.is_zero()) return BigNum{1};  // modulus > 1, so 1 mod n = 1
+
+  const Limbs base_n = to_limbs(base.mod(modulus_), s);
+
+  // one = R mod n = mont(R^2, 1); computed as mont(rr_, unit).
+  Limbs unit(s, 0);
+  unit[0] = 1;
+  Limbs one(s, 0);
+  mul(rr_.data(), unit.data(), one.data());
+
+  // Fixed 4-bit windows over a table of powers in Montgomery form; scan the
+  // exponent from the most significant nibble down. The table is built only
+  // up to the largest window value the exponent actually uses — a sparse
+  // exponent like 65537 (nibbles 1,0,0,0,1) then costs one table entry
+  // instead of fifteen.
+  Limbs base_m(s, 0);
+  mul(base_n.data(), rr_.data(), base_m.data());
+
+  const std::size_t nbits = exponent.bit_length();
+  const std::size_t nwindows = (nbits + 3) / 4;
+  std::uint32_t max_window = 1;
+  for (std::size_t w = 0; w < nwindows; ++w) {
+    std::uint32_t window = 0;
+    for (std::size_t b = 0; b < 4; ++b) {
+      if (exponent.bit(w * 4 + b)) window |= 1u << b;
+    }
+    max_window = std::max(max_window, window);
+  }
+
+  std::vector<Limbs> table(max_window + 1, Limbs(s, 0));
+  table[0] = one;
+  table[1] = base_m;
+  for (std::size_t k = 2; k <= max_window; ++k) {
+    mul(table[k - 1].data(), base_m.data(), table[k].data());
+  }
+  Limbs acc = one;
+  Limbs tmp(s, 0);
+  for (std::size_t w = nwindows; w-- > 0;) {
+    if (w + 1 != nwindows) {
+      for (int sq = 0; sq < 4; ++sq) {
+        mul(acc.data(), acc.data(), tmp.data());
+        std::swap(acc, tmp);
+      }
+    }
+    std::uint32_t window = 0;
+    for (std::size_t b = 0; b < 4; ++b) {
+      if (exponent.bit(w * 4 + b)) window |= 1u << b;
+    }
+    if (window != 0) {
+      mul(acc.data(), table[window].data(), tmp.data());
+      std::swap(acc, tmp);
+    }
+  }
+
+  // Leave Montgomery form: mont(acc, 1).
+  Limbs result(s, 0);
+  mul(acc.data(), unit.data(), result.data());
+  return from_limbs(result);
 }
 
 std::uint32_t BigNum::mod_u32(std::uint32_t m) const {

@@ -15,6 +15,7 @@
 namespace cb::crypto {
 
 class BigNum;
+class Montgomery;
 
 /// Quotient and remainder from BigNum::divmod.
 struct DivMod;
@@ -56,8 +57,13 @@ class BigNum {
   DivMod divmod(const BigNum& divisor) const;
   BigNum mod(const BigNum& m) const;
 
-  /// (this ^ exponent) mod m, square-and-multiply.
+  /// (this ^ exponent) mod m. Odd moduli take the Montgomery fast path;
+  /// even moduli fall back to square-and-multiply with Knuth division.
   BigNum powmod(const BigNum& exponent, const BigNum& m) const;
+
+  /// Reference square-and-multiply implementation, kept as the even-modulus
+  /// fallback and as the differential-test oracle for the Montgomery path.
+  BigNum powmod_reference(const BigNum& exponent, const BigNum& m) const;
 
   /// Remainder of division by a small value (used in prime sieving).
   std::uint32_t mod_u32(std::uint32_t m) const;
@@ -80,6 +86,8 @@ class BigNum {
   static BigNum generate_prime(Rng& rng, std::size_t bits);
 
  private:
+  friend class Montgomery;
+
   void trim();
   static BigNum sub_unchecked(const BigNum& a, const BigNum& b);
 
@@ -89,6 +97,43 @@ class BigNum {
 struct DivMod {
   BigNum quotient;
   BigNum remainder;
+};
+
+/// Precomputed Montgomery-form context for one odd modulus.
+///
+/// Construction pays one Knuth division (for R^2 mod n) plus a Newton
+/// inversion of the low limb; every subsequent modular multiplication is a
+/// single CIOS pass (interleaved multiply + reduce, no division at all).
+/// RSA keys cache one of these per modulus so repeated sign/verify against
+/// the same key amortizes the setup. Immutable after construction, so a
+/// `const Montgomery` is safe to share across threads.
+class Montgomery {
+ public:
+  /// Modulus must be odd and > 1; throws std::invalid_argument otherwise.
+  explicit Montgomery(const BigNum& modulus);
+
+  const BigNum& modulus() const { return modulus_; }
+
+  /// (base ^ exponent) mod modulus via fixed 4-bit-window exponentiation.
+  BigNum pow(const BigNum& base, const BigNum& exponent) const;
+
+ private:
+  // Internally the context works on 64-bit limbs (with 128-bit multiply
+  // intermediates): one CIOS pass then does a quarter of the single-limb
+  // multiply-accumulates the BigNum 32-bit representation would need.
+  using Limbs = std::vector<std::uint64_t>;
+
+  /// out = a * b * R^-1 mod n (CIOS). All operands are s limbs; `out` must
+  /// not alias `a` or `b`.
+  void mul(const std::uint64_t* a, const std::uint64_t* b, std::uint64_t* out) const;
+
+  static Limbs to_limbs(const BigNum& v, std::size_t s);  // zero-padded to s limbs
+  static BigNum from_limbs(const Limbs& v);
+
+  BigNum modulus_;
+  Limbs n_;            // modulus limbs, length s
+  Limbs rr_;           // R^2 mod n, zero-padded to s limbs
+  std::uint64_t n0inv_ = 0;  // -n^-1 mod 2^64
 };
 
 inline BigNum BigNum::mod(const BigNum& m) const { return divmod(m).remainder; }

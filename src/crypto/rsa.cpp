@@ -26,7 +26,7 @@ bool RsaPublicKey::verify(BytesView message, BytesView signature) const {
   if (empty() || signature.size() != size_bytes()) return false;
   const BigNum s = BigNum::from_bytes_be(signature);
   if (s >= n_) return false;
-  const BigNum m = s.powmod(e_, n_);
+  const BigNum m = public_op(s);
   Bytes em;
   try {
     em = m.to_bytes_be(size_bytes());
@@ -57,7 +57,7 @@ Result<Bytes> RsaPublicKey::encrypt(BytesView plaintext, Rng& rng) const {
   std::copy(plaintext.begin(), plaintext.end(), em.begin() + static_cast<std::ptrdiff_t>(3 + pad_len));
 
   const BigNum m = BigNum::from_bytes_be(em);
-  return m.powmod(e_, n_).to_bytes_be(k);
+  return public_op(m).to_bytes_be(k);
 }
 
 Bytes RsaPublicKey::fingerprint() const { return sha256(serialize()); }
@@ -86,6 +86,8 @@ RsaKeyPair::RsaKeyPair(RsaPublicKey pub, BigNum d, BigNum p, BigNum q)
   d_p_ = d_.mod(p_ - BigNum{1});
   d_q_ = d_.mod(q_ - BigNum{1});
   q_inv_ = BigNum::modinv(q_, p_);
+  mont_p_ = std::make_shared<const Montgomery>(p_);
+  mont_q_ = std::make_shared<const Montgomery>(q_);
 }
 
 RsaKeyPair RsaKeyPair::generate(Rng& rng, std::size_t modulus_bits) {
@@ -105,9 +107,10 @@ RsaKeyPair RsaKeyPair::generate(Rng& rng, std::size_t modulus_bits) {
 }
 
 BigNum RsaKeyPair::private_op(const BigNum& m) const {
-  // Garner's CRT recombination: m^d mod n from half-size exponentiations.
-  const BigNum m1 = m.mod(p_).powmod(d_p_, p_);
-  const BigNum m2 = m.mod(q_).powmod(d_q_, q_);
+  // Garner's CRT recombination: m^d mod n from half-size exponentiations,
+  // each through its prime's cached Montgomery context.
+  const BigNum m1 = mont_p_ ? mont_p_->pow(m, d_p_) : m.mod(p_).powmod(d_p_, p_);
+  const BigNum m2 = mont_q_ ? mont_q_->pow(m, d_q_) : m.mod(q_).powmod(d_q_, q_);
   // h = q_inv * (m1 - m2) mod p  (lift m1 into the positive range first)
   const BigNum diff = (m1 + p_ - m2.mod(p_)).mod(p_);
   const BigNum h = (q_inv_ * diff).mod(p_);

@@ -20,7 +20,9 @@ namespace cb::crypto {
 class RsaPublicKey {
  public:
   RsaPublicKey() = default;
-  RsaPublicKey(BigNum n, BigNum e) : n_(std::move(n)), e_(std::move(e)) {}
+  RsaPublicKey(BigNum n, BigNum e) : n_(std::move(n)), e_(std::move(e)) {
+    if (n_.is_odd()) mont_ = std::make_shared<const Montgomery>(n_);
+  }
 
   const BigNum& modulus() const { return n_; }
   const BigNum& exponent() const { return e_; }
@@ -43,8 +45,16 @@ class RsaPublicKey {
   bool operator==(const RsaPublicKey& o) const { return n_ == o.n_ && e_ == o.e_; }
 
  private:
+  /// (base ^ e) mod n through the cached Montgomery context when available.
+  BigNum public_op(const BigNum& base) const {
+    return mont_ ? mont_->pow(base, e_) : base.powmod(e_, n_);
+  }
+
   BigNum n_;
   BigNum e_;
+  // Per-key precomputed context; shared so copies of the key (they are
+  // passed around by value in SAP messages) reuse one immutable setup.
+  std::shared_ptr<const Montgomery> mont_;
 };
 
 /// Full RSA key pair.
@@ -74,6 +84,8 @@ class RsaKeyPair {
   BigNum d_;
   // CRT components (standard ~4x speedup for sign/decrypt).
   BigNum p_, q_, d_p_, d_q_, q_inv_;
+  // Montgomery contexts for the two half-size prime moduli.
+  std::shared_ptr<const Montgomery> mont_p_, mont_q_;
 };
 
 }  // namespace cb::crypto

@@ -21,8 +21,9 @@ bool Hss::has_subscriber(const std::string& imsi) const {
 }
 
 void Hss::handle(const net::Packet& packet) {
-  // Copy the fields we need; processing happens after the service delay.
-  Bytes payload = packet.payload;
+  // Keep the fields we need; processing happens after the service delay.
+  // The payload is COW, so holding it in the closure is a pointer share.
+  CowBytes payload = packet.payload;
   const net::EndPoint from = packet.src;
   queue_.submit(service_time_, [this, payload = std::move(payload), from] {
     try {

@@ -53,7 +53,7 @@ void Mme::attach(const std::string& imsi, net::Node* ue_node, net::Node* tower,
 
   // [AGW msg 1/4] Process the Attach Request; query the HSS for vectors.
   queue_.submit(profile_.agw_msg, [this, txn, imsi] {
-    awaiting_hss_[txn] = [this, txn](Bytes payload) {
+    awaiting_hss_[txn] = [this, txn](CowBytes payload) {
       // [AGW msg 2/4] Process the AIA; issue the authentication challenge.
       queue_.submit(profile_.agw_msg, [this, txn, payload = std::move(payload)] {
         auto it = pending_.find(txn);
@@ -82,7 +82,7 @@ void Mme::attach(const std::string& imsi, net::Node* ue_node, net::Node* tower,
             pit->second.hooks.smc([this, txn] {
               auto sit = pending_.find(txn);
               if (sit == pending_.end()) return;
-              awaiting_hss_[txn] = [this, txn](Bytes ula) {
+              awaiting_hss_[txn] = [this, txn](CowBytes ula) {
                 // [AGW msg 4/4] Process ULA; create the bearer; accept.
                 queue_.submit(profile_.agw_msg, [this, txn, ula = std::move(ula)] {
                   auto ait = pending_.find(txn);

@@ -14,6 +14,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/cow_bytes.hpp"
 #include "common/result.hpp"
 #include "epc/hss.hpp"
 #include "epc/spgw.hpp"
@@ -81,7 +82,7 @@ class Mme {
   std::uint64_t completed_ = 0;
   std::unordered_map<std::uint64_t, PendingAttach> pending_;
   // txn -> continuation invoked with the decoded HSS reply payload
-  std::unordered_map<std::uint64_t, std::function<void(Bytes)>> awaiting_hss_;
+  std::unordered_map<std::uint64_t, std::function<void(CowBytes)>> awaiting_hss_;
 };
 
 }  // namespace cb::epc

@@ -95,7 +95,9 @@ void Link::start_transmit(Direction& d, Node* to) {
         // armed, so enabling it never perturbs other links' loss streams.
         if (d.params.corrupt > 0.0 && !packet.payload.empty() &&
             rng_.chance(d.params.corrupt)) {
-          packet.payload[rng_.next_below(packet.payload.size())] ^= 0x5A;
+          // mutate() clones the (shared) buffer so other holders of this
+          // payload — e.g. a retransmit copy — keep the clean bytes.
+          packet.payload.mutate()[rng_.next_below(packet.payload.size())] ^= 0x5A;
           ++corrupted_;
         }
         ++delivered_;

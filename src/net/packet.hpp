@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "common/bytes.hpp"
+#include "common/cow_bytes.hpp"
 #include "net/address.hpp"
 
 namespace cb::net {
@@ -13,12 +14,14 @@ enum class Proto : std::uint8_t { Udp, Tcp };
 
 /// A network packet. The payload is the serialized L4 content (UDP datagram
 /// body or a serialized TCP segment); `overhead` accounts for L2/L3 headers
-/// in link-time and byte-accounting computations.
+/// in link-time and byte-accounting computations. Payloads are
+/// copy-on-write: copying a Packet shares the buffer, so fan-out and
+/// link-hop copies are O(1) (see cow_bytes.hpp).
 struct Packet {
   EndPoint src;
   EndPoint dst;
   Proto proto = Proto::Udp;
-  Bytes payload;
+  CowBytes payload;
   std::uint8_t ttl = 64;
   std::size_t overhead = 40;
 

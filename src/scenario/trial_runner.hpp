@@ -1,0 +1,85 @@
+// Thread-pool runner for independent simulation trials.
+//
+// The event engine is single-threaded by design (determinism comes from one
+// ordered queue), but a parameter sweep is embarrassingly parallel: each
+// sweep point builds its own Simulator from its own seed and never touches
+// another trial's state. TrialRunner executes such trials on a pool of
+// worker threads and returns results in submission order, so a parallel
+// sweep prints byte-identically to a sequential one.
+//
+// Determinism rules for trial closures:
+//  - construct the Simulator (and everything hanging off it) inside the
+//    closure — never share sim objects across trials;
+//  - derive randomness only from the trial's own seed;
+//  - return plain data (stats structs), not live simulation objects.
+// The logger's simulated-time source is thread-local, so concurrent trials
+// log with their own clocks.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace cb::scenario {
+
+class TrialRunner {
+ public:
+  /// `threads == 0` uses the hardware concurrency (at least 1).
+  explicit TrialRunner(unsigned threads = 0);
+  ~TrialRunner();
+
+  TrialRunner(const TrialRunner&) = delete;
+  TrialRunner& operator=(const TrialRunner&) = delete;
+
+  unsigned thread_count() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Run fn(0), fn(1), ..., fn(n-1) on the pool and return the results in
+  /// index order. Blocks until every trial finishes. If any trial throws,
+  /// the first exception (by index) is rethrown after all trials complete.
+  template <typename Fn>
+  auto map(std::size_t n, Fn&& fn) -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+    using R = std::invoke_result_t<Fn&, std::size_t>;
+    std::vector<R> results(n);
+    std::vector<std::exception_ptr> errors(n);
+    Batch batch;
+    for (std::size_t i = 0; i < n; ++i) {
+      submit([&, i] {
+        try {
+          results[i] = fn(i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      }, batch);
+    }
+    wait(batch, n);
+    for (auto& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+    return results;
+  }
+
+ private:
+  struct Batch {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t done = 0;
+  };
+
+  void submit(std::function<void()> task, Batch& batch);
+  void wait(Batch& batch, std::size_t n);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace cb::scenario

@@ -1,0 +1,111 @@
+// Move-only callable with small-buffer optimization for simulator events.
+//
+// Every scheduled event used to carry a std::function (heap allocation for
+// any capture list over two pointers) plus a shared_ptr<bool> cancellation
+// flag (a second allocation). InplaceFn stores typical event closures —
+// including a Link transmit lambda that captures a whole Packet — inline in
+// the event pool slot, falling back to the heap only for outsized captures.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace cb::sim {
+
+class InplaceFn {
+ public:
+  // Sized so the largest hot-path closure (Link's propagation lambda
+  // carrying a Packet by value) stays inline.
+  static constexpr std::size_t kBufSize = 120;
+
+  InplaceFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InplaceFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InplaceFn(F&& f) {  // NOLINT(google-explicit-constructor): function-like
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kBufSize && alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  InplaceFn(InplaceFn&& o) noexcept {
+    if (o.ops_) {
+      o.ops_->relocate(o.buf_, buf_);
+      ops_ = o.ops_;
+      o.ops_ = nullptr;
+    }
+  }
+
+  InplaceFn& operator=(InplaceFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      if (o.ops_) {
+        o.ops_->relocate(o.buf_, buf_);
+        ops_ = o.ops_;
+        o.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InplaceFn(const InplaceFn&) = delete;
+  InplaceFn& operator=(const InplaceFn&) = delete;
+
+  ~InplaceFn() { reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  /// Destroy the stored callable (and everything it captures) now.
+  void reset() {
+    if (ops_) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(unsigned char*);
+    // Move the callable from src storage into (uninitialized) dst storage
+    // and destroy the src copy.
+    void (*relocate)(unsigned char* src, unsigned char* dst);
+    void (*destroy)(unsigned char*);
+  };
+
+  template <typename Fn>
+  static constexpr Ops inline_ops = {
+      [](unsigned char* p) { (*std::launder(reinterpret_cast<Fn*>(p)))(); },
+      [](unsigned char* src, unsigned char* dst) {
+        Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (static_cast<void*>(dst)) Fn(std::move(*s));
+        s->~Fn();
+      },
+      [](unsigned char* p) { std::launder(reinterpret_cast<Fn*>(p))->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops heap_ops = {
+      [](unsigned char* p) { (**std::launder(reinterpret_cast<Fn**>(p)))(); },
+      [](unsigned char* src, unsigned char* dst) {
+        Fn** s = std::launder(reinterpret_cast<Fn**>(src));
+        ::new (static_cast<void*>(dst)) Fn*(*s);
+      },
+      [](unsigned char* p) { delete *std::launder(reinterpret_cast<Fn**>(p)); },
+  };
+
+  alignas(std::max_align_t) unsigned char buf_[kBufSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace cb::sim

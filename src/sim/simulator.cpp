@@ -1,18 +1,19 @@
 #include "sim/simulator.hpp"
 
-#include <stdexcept>
-
 #include "common/log.hpp"
 
 namespace cb::sim {
 
 namespace {
-// The most recently constructed simulator feeds the logger's time prefix.
-Simulator* g_active = nullptr;
+// The most recently constructed simulator on THIS thread feeds the logger's
+// time prefix. thread_local so independent engines can run concurrently on
+// worker threads (parallel sweep runner) without touching each other.
+thread_local Simulator* g_active = nullptr;
 TimePoint log_now() { return g_active ? g_active->now() : TimePoint::zero(); }
 }  // namespace
 
-Simulator::Simulator(std::uint64_t seed) : rng_(seed) {
+Simulator::Simulator(std::uint64_t seed)
+    : pool_(std::make_shared<detail::EventPool>()), rng_(seed) {
   g_active = this;
   log_detail::set_time_source(&log_now);
 }
@@ -22,40 +23,43 @@ Simulator::~Simulator() {
     g_active = nullptr;
     log_detail::set_time_source(nullptr);
   }
+  // Destroy all outstanding closures and invalidate handles: a closure must
+  // not outlive the simulator (it may capture shared_ptrs keeping whole
+  // node graphs alive), and a handle surviving past this point must report
+  // non-pending rather than touch freed state.
+  for (auto& slot : pool_->slots) {
+    ++slot.gen;
+    slot.fn.reset();
+  }
 }
 
 void EventHandle::cancel() {
-  if (cancelled_) *cancelled_ = true;
+  if (!pool_) return;
+  auto& slot = pool_->slots[slot_];
+  if (slot.gen != gen_) return;  // already fired or cancelled
+  ++slot.gen;
+  pool_->release(slot_);  // destroys the closure eagerly
 }
 
-bool EventHandle::pending() const { return cancelled_ && !*cancelled_; }
-
-EventHandle Simulator::schedule(Duration delay, std::function<void()> fn) {
-  if (delay < Duration::zero()) throw std::invalid_argument("schedule: negative delay");
-  return schedule_at(now_ + delay, std::move(fn));
-}
-
-EventHandle Simulator::schedule_at(TimePoint at, std::function<void()> fn) {
-  if (at < now_) throw std::invalid_argument("schedule_at: time in the past");
-  auto cancelled = std::make_shared<bool>(false);
-  queue_.push(Event{at, next_seq_++, std::move(fn), cancelled});
-  return EventHandle{std::move(cancelled)};
-}
+bool EventHandle::pending() const { return pool_ && pool_->slots[slot_].gen == gen_; }
 
 bool Simulator::step(const TimePoint* deadline) {
   while (!queue_.empty()) {
-    if (*queue_.top().cancelled) {
-      queue_.pop();
+    const Event& top = queue_.top();
+    if (pool_->slots[top.slot].gen != top.gen) {
+      queue_.pop();  // cancelled: the closure was already released
       continue;
     }
-    if (deadline && queue_.top().at > *deadline) return false;
-    // priority_queue::top is const; the event is copied out then popped.
-    Event ev = queue_.top();
+    if (deadline && top.at > *deadline) return false;
+    const Event ev = top;
     queue_.pop();
     now_ = ev.at;
-    *ev.cancelled = true;  // mark fired so handles report non-pending
+    auto& slot = pool_->slots[ev.slot];
+    InplaceFn fn = std::move(slot.fn);
+    ++slot.gen;  // mark fired so handles report non-pending (even inside fn)
+    pool_->release(ev.slot);
     ++executed_;
-    ev.fn();
+    fn();
     return true;
   }
   return false;

@@ -465,6 +465,12 @@ void MptcpSocket::finish(const std::string& reason) {
     sf.dead = true;
   }
   if (!reason.empty() && !eof_delivered_ && on_closed) on_closed(reason);
+  // Break callback cycles through our own shared_ptr (apps capture the
+  // connection in its own on_data/on_closed), mirroring TcpSocket::finish.
+  on_connected = nullptr;
+  on_data = nullptr;
+  on_send_space = nullptr;
+  on_closed = nullptr;
   stack_.deregister_connection(token_);
 }
 
@@ -473,6 +479,28 @@ void MptcpSocket::finish(const std::string& reason) {
 MptcpStack::MptcpStack(net::Node& node, TcpStack& tcp, MptcpConfig config)
     : node_(node), tcp_(tcp), config_(config), rng_(node.simulator().rng().fork(0x3B7C)) {
   node_.bind_udp(kMptcpDackPort, [this](const net::Packet& p) { on_dack_datagram(p); });
+}
+
+MptcpStack::~MptcpStack() {
+  node_.unbind_udp(kMptcpDackPort);
+  // Connections still alive at teardown: break app-closure cycles through
+  // their own shared_ptr, same as ~TcpStack does for plain sockets.
+  // Also mark them finished: a connection may outlive the stack (an event
+  // closure owning it is released at simulator teardown), and its finish()
+  // must not re-enter deregister_connection() against this freed stack.
+  for (auto& [token, weak] : by_token_) {
+    if (auto conn = weak.lock()) {
+      conn->finished_ = true;
+      conn->address_wait_timer_.cancel();
+      conn->path_timeout_timer_.cancel();
+      conn->dack_timer_.cancel();
+      conn->dfin_rtx_timer_.cancel();
+      conn->on_connected = nullptr;
+      conn->on_data = nullptr;
+      conn->on_send_space = nullptr;
+      conn->on_closed = nullptr;
+    }
+  }
 }
 
 void MptcpStack::send_dack_datagram(net::EndPoint from, net::EndPoint to,

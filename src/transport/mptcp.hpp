@@ -138,6 +138,7 @@ class MptcpSocket final : public StreamSocket,
 class MptcpStack {
  public:
   MptcpStack(net::Node& node, TcpStack& tcp, MptcpConfig config = {});
+  ~MptcpStack();
 
   MptcpStack(const MptcpStack&) = delete;
   MptcpStack& operator=(const MptcpStack&) = delete;

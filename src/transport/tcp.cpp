@@ -675,6 +675,13 @@ void TcpSocket::finish(const std::string& reason) {
   // CloseWait/TimeWait/LastAck already delivered EOF to the app when the
   // peer's FIN was processed; avoid double notification.
   if ((notify || !reason.empty()) && on_closed) on_closed(reason);
+  // Break callback reference cycles: app closures routinely capture this
+  // socket's own shared_ptr (listen handlers, echo servers), which would
+  // otherwise keep the socket alive forever once the map entry is gone.
+  on_connected = nullptr;
+  on_data = nullptr;
+  on_send_space = nullptr;
+  on_closed = nullptr;
   stack_.deregister(this);  // may destroy *this — must be the last statement
 }
 
@@ -685,7 +692,25 @@ TcpStack::TcpStack(net::Node& node, TcpConfig config)
   node_.set_tcp_demux([this](net::Packet&& p) { dispatch(std::move(p)); });
 }
 
-TcpStack::~TcpStack() { node_.set_tcp_demux(nullptr); }
+TcpStack::~TcpStack() {
+  node_.set_tcp_demux(nullptr);
+  // Sockets still open at stack teardown (test/scenario end) hold app
+  // closures that may capture their own shared_ptr; drop the callbacks so
+  // the cycles break and LeakSanitizer sees a clean exit. Force-close each
+  // socket too: a socket may outlive the stack (an event closure owning it
+  // is released later, e.g. at simulator teardown), and its destructor must
+  // not re-enter finish()/deregister() against this freed stack.
+  for (auto& [key, socket] : sockets_) {
+    socket->state_ = TcpSocket::State::Closed;
+    socket->rtx_timer_.cancel();
+    socket->time_wait_timer_.cancel();
+    socket->connect_timer_.cancel();
+    socket->on_connected = nullptr;
+    socket->on_data = nullptr;
+    socket->on_send_space = nullptr;
+    socket->on_closed = nullptr;
+  }
+}
 
 std::uint32_t TcpStack::random_iss() { return static_cast<std::uint32_t>(rng_.next_u64()); }
 

@@ -7,6 +7,7 @@
 
 #include "net/network.hpp"
 #include "scenario/chaos.hpp"
+#include "scenario/trial_runner.hpp"
 #include "scenario/world.hpp"
 #include "sim/fault.hpp"
 
@@ -390,6 +391,67 @@ TEST(Chaos, EndToEndRecoveryAndBitIdenticalReplay) {
   EXPECT_TRUE(r1.ue_attached_at_end);
   EXPECT_EQ(r1.orphan_sessions, 0u);  // every orphan was GC'd
   EXPECT_GT(r1.pair_completion, 0.0);
+}
+
+TEST(Chaos, EngineEquivalenceGolden) {
+  // Golden witness for the event-engine/COW-packet overhaul: this exact
+  // scenario (the bench_chaos_availability config) was run on the seed
+  // engine (std::function queue, deep-copied payloads) and produced the
+  // values below. The slab/generation engine and the copy-on-write wire
+  // path must reproduce them bit-identically — any drift means the swap
+  // changed execution order or payload contents somewhere.
+  ChaosConfig cfg;
+  cfg.world.seed = 42;
+  cfg.world.route = suburb_day();
+  cfg.world.n_towers = 8;
+  cfg.duration = Duration::s(240);
+  cfg.world.btelco_config.session_timeout = Duration::s(30);
+  cfg.world.btelco_config.gc_interval = Duration::s(5);
+  cfg.world.ue_config.attach_timeout = Duration::s(2);
+  cfg.telco_crashes.push_back(
+      {.telco = 0, .start = TimePoint::zero() + Duration::s(30), .duration = Duration::s(20)});
+  cfg.broker_outages.push_back(
+      {.start = TimePoint::zero() + Duration::s(70), .duration = Duration::s(15)});
+  cfg.radio_drops.push_back({.at = TimePoint::zero() + Duration::s(120)});
+  cfg.wan_degrades.push_back({.start = TimePoint::zero() + Duration::s(150),
+                              .duration = Duration::s(30),
+                              .loss = 0.25,
+                              .corrupt = 0.10});
+
+  const ChaosResult r = run_chaos(cfg);
+  EXPECT_EQ(r.fingerprint, 0x40a60d687032324fULL);
+  EXPECT_EQ(r.reattach_latency_ms.count(), 6u);
+  EXPECT_EQ(r.bearer_losses, 2u);
+  EXPECT_EQ(r.attach_failures, 0u);
+  EXPECT_EQ(r.sessions_gced, 1u);
+  EXPECT_EQ(r.orphan_sessions, 0u);
+  EXPECT_EQ(r.reports_ingested, 54u);
+  EXPECT_EQ(r.reports_deduped, 7u);
+  EXPECT_EQ(r.unpaired_expired, 6u);
+  EXPECT_EQ(r.pairs_compared, 24u);
+  EXPECT_TRUE(r.ue_attached_at_end);
+}
+
+TEST(Chaos, TrialRunnerWorkerThreadIsBitIdentical) {
+  // A trial executed on a TrialRunner worker thread must match one run on
+  // the main thread exactly: simulators are self-contained and the logger
+  // time source is thread-local, so thread placement cannot leak into
+  // results.
+  auto make = [] {
+    ChaosConfig cfg;
+    cfg.world.seed = 1234;
+    cfg.world.n_towers = 4;
+    cfg.duration = Duration::s(60);
+    cfg.broker_outages.push_back(
+        {.start = TimePoint::zero() + Duration::s(20), .duration = Duration::s(5)});
+    return cfg;
+  };
+  const ChaosResult main_thread = run_chaos(make());
+  TrialRunner runner(2);
+  const auto pooled = runner.map(3, [&](std::size_t) { return run_chaos(make()); });
+  for (const ChaosResult& r : pooled) {
+    EXPECT_EQ(r.fingerprint, main_thread.fingerprint);
+  }
 }
 
 }  // namespace

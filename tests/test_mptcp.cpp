@@ -251,7 +251,9 @@ TEST(Mptcp, ServerPushSurvivesHandover) {
   w.server_mptcp->listen(80, [&](std::shared_ptr<MptcpSocket> s) {
     srv = std::move(s);
     auto pump = std::make_shared<std::function<void()>>();
-    *pump = [&, pump] {
+    // on_send_space keeps `pump` alive; capturing it here too would make the
+    // function own itself (a shared_ptr cycle LeakSanitizer flags).
+    *pump = [&] {
       while (sent < payload.size()) {
         const std::size_t n = srv->send(BytesView(
             payload.data() + sent, std::min<std::size_t>(16384, payload.size() - sent)));

@@ -2,6 +2,7 @@
 // determinism, and bounded runs.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/simulator.hpp"
@@ -120,6 +121,52 @@ TEST(Simulator, CountsExecutedEvents) {
   for (int i = 0; i < 7; ++i) sim.schedule(Duration::ms(i), [] {});
   sim.run();
   EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+TEST(Simulator, CancelReleasesClosureEagerly) {
+  // Regression: a cancelled event's closure (and everything it captures)
+  // must be destroyed at cancel() time, not when its timestamp pops.
+  Simulator sim;
+  auto captured = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = captured;
+  EventHandle h = sim.schedule(Duration::s(3600), [captured] { (void)*captured; });
+  captured.reset();
+  EXPECT_FALSE(watch.expired());  // queue still owns the closure
+  h.cancel();
+  EXPECT_TRUE(watch.expired());  // cancel released it without running anything
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(Simulator, DestructionReleasesPendingClosures) {
+  auto captured = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = captured;
+  EventHandle h;
+  {
+    Simulator sim;
+    h = sim.schedule(Duration::s(10), [captured] { (void)*captured; });
+    captured.reset();
+    EXPECT_TRUE(h.pending());
+  }
+  EXPECT_TRUE(watch.expired());   // simulator death freed the closure
+  EXPECT_FALSE(h.pending());      // surviving handle is safely inert
+  h.cancel();                     // and cancelling it is a no-op
+}
+
+TEST(Simulator, SlotReuseDoesNotConfuseStaleHandles) {
+  // A handle to a fired event must stay non-pending even after its pool
+  // slot is recycled by a later schedule (generation counters, not flags).
+  Simulator sim;
+  int ran = 0;
+  EventHandle first = sim.schedule(Duration::ms(1), [&] { ++ran; });
+  sim.run();
+  EXPECT_FALSE(first.pending());
+  EventHandle second = sim.schedule(Duration::ms(1), [&] { ++ran; });
+  EXPECT_FALSE(first.pending());  // stale handle, recycled slot
+  first.cancel();                 // must not cancel the new event
+  sim.run();
+  EXPECT_EQ(ran, 2);
+  EXPECT_TRUE(second.pending() == false);
 }
 
 }  // namespace

@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# Perf baseline tracker: runs the two headline benchmarks against a Release
+# build and writes BENCH_sap.json + BENCH_scale.json at the repo root, each
+# recording the frozen pre-PR3 baseline, the current numbers, and the
+# resulting speedup. Re-run after any hot-path change and commit the JSONs
+# so the perf trajectory stays in-repo (see EXPERIMENTS.md).
+#
+# Usage: tools/bench.sh [--smoke] [--build-dir DIR]
+#   --smoke      reduced point set / fewer repetitions; used by tools/ci.sh
+#                to validate the JSON schema quickly. Smoke numbers are NOT
+#                representative — never commit JSONs from a smoke run.
+#   --build-dir  benchmark binaries location (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SMOKE=0
+BUILD_DIR=build
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke) SMOKE=1 ;;
+    --build-dir) BUILD_DIR="$2"; shift ;;
+    *) echo "unknown arg: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+SAP_BIN="$BUILD_DIR/bench/bench_sap_crypto"
+SCALE_BIN="$BUILD_DIR/bench/bench_scale_users"
+for bin in "$SAP_BIN" "$SCALE_BIN"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "missing $bin — build first: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+    exit 1
+  fi
+done
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# --- RSA/SAP crypto microbench (google-benchmark JSON) -----------------------
+if [[ "$SMOKE" == 1 ]]; then
+  REPS=1
+  FILTER='--benchmark_filter=BM_Rsa(Sign|Verify)1024'
+else
+  REPS=3
+  FILTER='--benchmark_filter=.'
+fi
+"$SAP_BIN" "$FILTER" \
+  --benchmark_repetitions="$REPS" --benchmark_report_aggregates_only=true \
+  --benchmark_format=json --benchmark_out="$TMP/sap.json" \
+  --benchmark_out_format=json >/dev/null
+
+# --- User-scale macrobench (emits its own JSON) ------------------------------
+SCALE_ARGS=(--json "$TMP/scale.json")
+if [[ "$SMOKE" == 1 ]]; then SCALE_ARGS+=(--smoke); fi
+"$SCALE_BIN" "${SCALE_ARGS[@]}" >/dev/null
+
+# --- Assemble the committed BENCH_*.json -------------------------------------
+SMOKE="$SMOKE" python3 - "$TMP/sap.json" "$TMP/scale.json" <<'EOF'
+import json, os, sys
+
+smoke = os.environ["SMOKE"] == "1"
+sap_raw = json.load(open(sys.argv[1]))
+scale_raw = json.load(open(sys.argv[2]))
+
+# Frozen pre-PR3 baselines (seed engine: schoolbook powmod, deep-copy packet
+# path, sequential sweeps), measured on the reference 1-CPU container.
+SAP_BASE = {"rsa_sign_1024_ns": 3470195.0, "rsa_verify_1024_ns": 134977.0}
+SCALE_BASE_WALL_S = 13.419
+
+def median(raw, name):
+    for b in raw["benchmarks"]:
+        if b["name"] == f"{name}_median" or (b["name"] == name and b.get("run_type") != "aggregate"):
+            return b["real_time"]
+    raise KeyError(f"benchmark {name} missing from output")
+
+sign = median(sap_raw, "BM_RsaSign1024")
+verify = median(sap_raw, "BM_RsaVerify1024")
+sap = {
+    "bench": "sap_crypto",
+    "mode": "smoke" if smoke else "full",
+    "baseline": dict(SAP_BASE, label="pre-PR3 (schoolbook powmod)"),
+    "current": {"rsa_sign_1024_ns": sign, "rsa_verify_1024_ns": verify},
+    "speedup": {
+        "rsa_sign_1024": round(SAP_BASE["rsa_sign_1024_ns"] / sign, 2),
+        "rsa_verify_1024": round(SAP_BASE["rsa_verify_1024_ns"] / verify, 2),
+    },
+}
+json.dump(sap, open("BENCH_sap.json", "w"), indent=2)
+print("BENCH_sap.json:", json.dumps(sap["speedup"]))
+
+scale = {
+    "bench": "scale_users",
+    "mode": scale_raw["mode"],
+    "baseline": {"wall_s": SCALE_BASE_WALL_S,
+                 "label": "pre-PR3 (sequential, deep-copy packets)"},
+    "current": {"wall_s": scale_raw["wall_s"], "threads": scale_raw["threads"]},
+    "speedup": {"wall": round(SCALE_BASE_WALL_S / scale_raw["wall_s"], 2)},
+    "points": scale_raw["points"],
+}
+json.dump(scale, open("BENCH_scale.json", "w"), indent=2)
+print("BENCH_scale.json: wall %.2fs (%.1fx)" % (scale_raw["wall_s"],
+      SCALE_BASE_WALL_S / scale_raw["wall_s"]))
+EOF
+
+echo "bench.sh done (mode: $([[ "$SMOKE" == 1 ]] && echo smoke || echo full))"

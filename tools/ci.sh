@@ -1,7 +1,12 @@
 #!/usr/bin/env bash
-# CI entry point: build + test the tree twice — a plain RelWithDebInfo build
-# and an ASan/UBSan build (memory bugs in the event-driven callback soup are
-# exactly the kind the sanitizers catch and unit tests miss).
+# CI entry point: two-config matrix.
+#
+#   1. Debug + ASan/UBSan (leak checking ENABLED) — tier-1 tests. Memory
+#      bugs in the event-driven callback soup are exactly the kind the
+#      sanitizers catch and unit tests miss; the transport-layer socket
+#      cycles that used to force detect_leaks=0 were broken up in PR 3.
+#   2. Release — tier-1 tests at the optimization level users run, plus a
+#      bench smoke run that validates the BENCH_*.json schema.
 #
 # Usage: tools/ci.sh [--skip-sanitized]
 set -euo pipefail
@@ -16,16 +21,31 @@ run_suite() {
   ctest --test-dir "$build_dir" --output-on-failure
 }
 
-echo "=== plain build ==="
-run_suite build
-
+echo "=== sanitized build (Debug, address,undefined, leaks on) ==="
 if [[ "${1:-}" != "--skip-sanitized" ]]; then
-  echo "=== sanitized build (address,undefined) ==="
-  # Leak checking stays off: the transport layer's socket callback webs hold
-  # reference cycles that LSan flags at test exit (pre-existing; see
-  # ROADMAP.md). ASan memory errors and UBSan stay fully enabled.
-  export ASAN_OPTIONS="detect_leaks=0"
-  run_suite build-asan -DCB_SANITIZE=address,undefined
+  run_suite build-asan -DCMAKE_BUILD_TYPE=Debug -DCB_SANITIZE=address,undefined
+else
+  echo "skipped (--skip-sanitized)"
 fi
+
+echo "=== release build ==="
+run_suite build -DCMAKE_BUILD_TYPE=Release
+
+echo "=== bench smoke (schema check) ==="
+tools/bench.sh --smoke
+python3 - <<'EOF'
+import json
+sap = json.load(open("BENCH_sap.json"))
+scale = json.load(open("BENCH_scale.json"))
+for doc, keys in ((sap, ("bench", "mode", "baseline", "current", "speedup")),
+                  (scale, ("bench", "mode", "baseline", "current", "speedup", "points"))):
+    missing = [k for k in keys if k not in doc]
+    assert not missing, f"{doc.get('bench')}: missing keys {missing}"
+assert sap["bench"] == "sap_crypto" and scale["bench"] == "scale_users"
+assert all(k in scale["points"][0] for k in ("n_ues", "arch", "loss", "mean_ms", "p99_ms", "completed"))
+print("BENCH_*.json schema ok")
+EOF
+# Smoke numbers are not representative — restore the committed full-run JSONs.
+git checkout -- BENCH_sap.json BENCH_scale.json 2>/dev/null || true
 
 echo "CI passed"
