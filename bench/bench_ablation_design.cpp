@@ -12,6 +12,7 @@
 //     far a broker can sit before d hurts the drive workload.
 #include <cstdio>
 
+#include "obs/metrics.hpp"
 #include "apps/iperf.hpp"
 #include "scenario/world.hpp"
 
@@ -43,6 +44,11 @@ double drive_goodput_mbps(Duration wait, Duration cloud_rtt) {
 }  // namespace
 
 int main() {
+  // Root obs registry: per-trial metrics merge here in index order
+  // (TrialRunner) and the digest prints as the bench footer.
+  obs::Registry metrics;
+  obs::ScopedRegistry scoped(&metrics);
+
   std::printf("=== Ablation A: MPTCP address_worker wait (night drive, ~9 handovers) ===\n");
   std::printf("%12s %16s\n", "wait (ms)", "goodput (mbps)");
   for (int wait_ms : {0, 100, 250, 500, 1000, 2000}) {
@@ -96,5 +102,6 @@ int main() {
   }
   std::printf("(d = 24.5 ms processing + broker RTT; even a cross-continent broker\n"
               " costs little because d is small next to the MPTCP wait + slow start)\n");
+  std::printf("\n%s\n", metrics.digest().c_str());
   return 0;
 }

@@ -6,7 +6,10 @@
 // bit-reproducible for regression hunting.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
+#include "obs/metrics.hpp"
 #include "scenario/chaos.hpp"
 #include "scenario/trial_runner.hpp"
 
@@ -41,7 +44,11 @@ ChaosConfig make_config() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
+  }
   std::printf("=== Chaos availability: scripted faults vs recovery machinery ===\n\n");
   // The two same-seed replicas are independent simulators, so they run
   // concurrently on the trial pool; the determinism check compares them.
@@ -86,12 +93,20 @@ int main() {
   std::printf("%-34s %11.1f%%\n", "billing-pair completion", 100.0 * r1.pair_completion);
   std::printf("%-34s %#12llx\n", "state fingerprint",
               static_cast<unsigned long long>(r1.fingerprint));
+  std::printf("%-34s %#12llx\n", "trace fingerprint",
+              static_cast<unsigned long long>(r1.trace_fingerprint));
 
   bool ok = true;
   if (r1.fingerprint != r2.fingerprint) {
     std::printf("\nFAIL: same-seed runs diverged (%#llx vs %#llx)\n",
                 static_cast<unsigned long long>(r1.fingerprint),
                 static_cast<unsigned long long>(r2.fingerprint));
+    ok = false;
+  }
+  // The obs layer must be as deterministic as the engine: both replicas'
+  // metric snapshots must match byte for byte, traces bit for bit.
+  if (r1.metrics_json != r2.metrics_json || r1.trace_fingerprint != r2.trace_fingerprint) {
+    std::printf("\nFAIL: same-seed runs produced different metrics snapshots\n");
     ok = false;
   }
   if (r1.availability_after_faults < 0.95) {
@@ -104,5 +119,26 @@ int main() {
     ok = false;
   }
   if (ok) std::printf("\ndeterminism + recovery checks passed\n");
+
+  if (!json_path.empty()) {
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"chaos_availability\",\n"
+                 "  \"availability\": %.6f,\n"
+                 "  \"availability_after_faults\": %.6f,\n"
+                 "  \"fingerprint\": \"%#llx\",\n"
+                 "  \"trace_fingerprint\": \"%#llx\",\n"
+                 "  \"deterministic\": %s,\n"
+                 "  \"metrics\": %s\n}\n",
+                 r1.availability, r1.availability_after_faults,
+                 static_cast<unsigned long long>(r1.fingerprint),
+                 static_cast<unsigned long long>(r1.trace_fingerprint), ok ? "true" : "false",
+                 r1.metrics_json.c_str());
+    std::fclose(f);
+  }
   return ok ? 0 : 1;
 }

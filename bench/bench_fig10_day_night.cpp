@@ -4,6 +4,7 @@
 // 1.03 Mb/s; night std 8.94 vs day 0.32; peaks 52.5 vs 1.75 Mb/s).
 #include <cstdio>
 
+#include "obs/metrics.hpp"
 #include "apps/iperf.hpp"
 #include "common/stats.hpp"
 #include "scenario/world.hpp"
@@ -52,6 +53,11 @@ Stats run(const RouteSpec& route) {
 }  // namespace
 
 int main() {
+  // Root obs registry: per-trial metrics merge here in index order
+  // (TrialRunner) and the digest prints as the bench footer.
+  obs::Registry metrics;
+  obs::ScopedRegistry scoped(&metrics);
+
   std::printf("=== Fig.10: downtown iperf throughput, Day vs Night rate policy ===\n\n");
   const Stats day = run(downtown_day());
   const Stats night = run(downtown_night());
@@ -73,5 +79,6 @@ int main() {
   std::printf("%8s %8.2f %8.2f %8.2f   (paper: 14.95, 8.94, 52.5)\n", "Night", night.mean,
               night.stddev, night.peak);
   std::printf("night/day mean ratio: %.1fx (paper: 14.5x)\n", night.mean / day.mean);
+  std::printf("\n%s\n", metrics.digest().c_str());
   return 0;
 }

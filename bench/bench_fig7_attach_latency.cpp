@@ -8,6 +8,7 @@
 // (paper: -14.0% at us-west-1, -40.8% at us-east-1).
 #include <cstdio>
 
+#include "obs/metrics.hpp"
 #include "scenario/attach_experiment.hpp"
 
 using namespace cb;
@@ -31,6 +32,11 @@ constexpr PaperRef kPaper[] = {
 }  // namespace
 
 int main() {
+  // Root obs registry: per-trial metrics merge here in index order
+  // (TrialRunner) and the digest prints as the bench footer.
+  obs::Registry metrics;
+  obs::ScopedRegistry scoped(&metrics);
+
   std::printf("=== Fig.7: attachment latency breakdown (BL = Magma/EPC baseline, "
               "CB = CellBricks/SAP) ===\n");
   std::printf("100 attach requests per cell; radio/RRC time excluded, as in the paper.\n\n");
@@ -57,5 +63,6 @@ int main() {
   }
   std::printf("Shape check: CB ~equal locally, faster with remote DB because SAP needs one\n"
               "broker round-trip where the S6A baseline needs two (AIR + ULR).\n");
+  std::printf("\n%s\n", metrics.digest().c_str());
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "apps/iperf.hpp"
 #include "scenario/world.hpp"
 
@@ -58,6 +59,11 @@ Trace run(Architecture arch) {
 }  // namespace
 
 int main() {
+  // Root obs registry: per-trial metrics merge here in index order
+  // (TrialRunner) and the digest prints as the bench footer.
+  obs::Registry metrics;
+  obs::ScopedRegistry scoped(&metrics);
+
   std::printf("=== Fig.8: iperf throughput around a handover (Day policy) ===\n\n");
   const Trace mno = run(Architecture::Mno);
   const Trace cbr = run(Architecture::CellBricks);
@@ -90,5 +96,6 @@ int main() {
     std::printf("  after  [h+2,h+7): %.2f mbps (paper: ramps back, briefly overshoots)\n",
                 avg(cbr.mbps, h + 2, h + 7));
   }
+  std::printf("\n%s\n", metrics.digest().c_str());
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "apps/iperf.hpp"
 #include "scenario/world.hpp"
 
@@ -68,6 +69,11 @@ double window_rate(const Run& r, double h, int n) {
 }  // namespace
 
 int main() {
+  // Root obs registry: per-trial metrics merge here in index order
+  // (TrialRunner) and the digest prints as the bench footer.
+  obs::Registry metrics;
+  obs::ScopedRegistry scoped(&metrics);
+
   std::printf("=== Fig.9: relative post-handover throughput vs attachment latency ===\n");
   std::printf("(CB throughput in the n seconds after each handover, normalized to the\n"
               " TCP/MNO baseline over the same windows; night policy; mean over handovers)\n\n");
@@ -121,5 +127,6 @@ int main() {
   std::printf("\nShape check (paper Fig.9): lower d => faster recovery; modified variants\n"
               "reach/exceed 100%% within a few seconds (slow-start overshoot: 10-30%% above\n"
               "TCP right after handover); the unmodified 500 ms wait lags behind early on.\n");
+  std::printf("\n%s\n", metrics.digest().c_str());
   return 0;
 }

@@ -7,15 +7,18 @@
 // concurrently on a TrialRunner thread pool; results are collected in
 // submission order and the tables print identically to a sequential run.
 //
-// Usage: bench_scale_users [--smoke] [--json FILE]
-//   --smoke   small point set (CI schema check, not a measurement)
-//   --json    also write machine-readable results + wall-clock to FILE
+// Usage: bench_scale_users [--smoke] [--json FILE] [--no-metrics]
+//   --smoke       small point set (CI schema check, not a measurement)
+//   --json        also write machine-readable results + wall-clock to FILE
+//   --no-metrics  run with observability disabled (instrumentation-overhead
+//                 baseline for tools/bench.sh)
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "scenario/attach_experiment.hpp"
 #include "scenario/trial_runner.hpp"
 
@@ -37,11 +40,20 @@ const char* arch_name(Architecture a) { return a == Architecture::CellBricks ? "
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool metrics_enabled = true;
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
+    else if (std::strcmp(argv[i], "--no-metrics") == 0) metrics_enabled = false;
   }
+
+  // Root registry for the whole bench: TrialRunner gives each sweep point a
+  // private per-trial registry and merges them back here in index order, so
+  // the snapshot below is byte-identical across same-seed runs regardless of
+  // thread count or completion order.
+  obs::Registry metrics;
+  obs::ScopedRegistry scoped(metrics_enabled ? &metrics : nullptr);
 
   const std::vector<int> storm_sizes = smoke ? std::vector<int>{1, 10}
                                              : std::vector<int>{1, 10, 50, 100, 200};
@@ -101,6 +113,7 @@ int main(int argc, char** argv) {
 
   std::printf("\nwall-clock: %.3f s on %u threads%s\n", wall_s, runner.thread_count(),
               smoke ? " (smoke mode)" : "");
+  if (metrics_enabled) std::printf("%s\n", metrics.digest().c_str());
 
   if (!json_path.empty()) {
     FILE* f = std::fopen(json_path.c_str(), "w");
@@ -122,7 +135,12 @@ int main(int argc, char** argv) {
     };
     for (const StormPoint& p : points) emit(p);
     for (const StormPoint& p : loss_points) emit(p);
-    std::fprintf(f, "\n  ]\n}\n");
+    std::fprintf(f, "\n  ],\n  \"metrics_enabled\": %s",
+                 metrics_enabled ? "true" : "false");
+    if (metrics_enabled) {
+      std::fprintf(f, ",\n  \"metrics\": %s", metrics.to_json().c_str());
+    }
+    std::fprintf(f, "\n}\n");
     std::fclose(f);
   }
   return 0;

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/metrics.hpp"
 #include "scenario/table1.hpp"
 
 using namespace cb;
@@ -32,6 +33,11 @@ double pct(double cb, double mno) { return mno != 0.0 ? (1.0 - cb / mno) * 100.0
 }  // namespace
 
 int main() {
+  // Root obs registry: per-trial metrics merge here in index order
+  // (TrialRunner) and the digest prints as the bench footer.
+  obs::Registry metrics;
+  obs::ScopedRegistry scoped(&metrics);
+
   Table1Options opt;
   if (const char* env = std::getenv("CB_TABLE1_DURATION")) {
     opt.duration = Duration::s(std::atol(env));
@@ -83,5 +89,6 @@ int main() {
               slow_video_n / slow_video_d, slow_web_n / slow_web_d);
   std::printf("  (paper: iperf 2.06-3.06%%, MOS 0.92-1.15%%, video -0.20-0.51%%, "
               "web -1.61-2.60%%)\n");
+  std::printf("\n%s\n", metrics.digest().c_str());
   return 0;
 }

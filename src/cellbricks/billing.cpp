@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "obs/metrics.hpp"
+
 namespace cb::cellbricks {
 
 namespace {
@@ -42,6 +44,7 @@ Result<TrafficReport> TrafficReport::deserialize(BytesView data) {
     t.avg_delay_ms = unpack(r.u64());
     return t;
   } catch (const std::out_of_range&) {
+    obs::inc(obs::counter("billing.report_parse_errors"));
     return Result<TrafficReport>::err("traffic report: truncated");
   }
 }

@@ -1,6 +1,7 @@
 #include "cellbricks/brokerd.hpp"
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace cb::cellbricks {
 
@@ -42,13 +43,21 @@ void Brokerd::handle(const net::Packet& packet) {
     const auto type = static_cast<BrokerMsg>(peek.u8());
     const Duration service = type == BrokerMsg::AuthReq ? config_.sap_service_time
                                                         : config_.report_service_time;
-    if (type == BrokerMsg::AuthReq) sap_busy_ += service;
-    queue_.submit(service, [this, payload = std::move(payload), from] {
+    if (type == BrokerMsg::AuthReq) {
+      sap_busy_ += service;
+      obs::inc(obs::counter("broker.sap.requests"));
+    }
+    // SAP latency = queueing behind earlier requests + service time, measured
+    // on the broker's own clock from packet arrival to reply readiness.
+    const TimePoint arrived = node_.simulator().now();
+    queue_.submit(service, [this, payload = std::move(payload), from, arrived] {
       try {
         ByteReader r(payload);
         const auto msg = static_cast<BrokerMsg>(r.u8());
         if (msg == BrokerMsg::AuthReq) {
           handle_auth(from, r);
+          obs::observe(obs::histogram("broker.sap_latency_ms"),
+                       (node_.simulator().now() - arrived).to_millis());
         } else if (msg == BrokerMsg::Report) {
           handle_report(from, r);
         }
@@ -68,6 +77,7 @@ void Brokerd::handle_auth(const net::EndPoint& from, ByteReader& r) {
   const auto cache_key = std::make_pair(
       static_cast<std::uint64_t>(from.addr.value()) << 16 | from.port, txn);
   if (auto cached = reply_cache_.find(cache_key); cached != reply_cache_.end()) {
+    obs::inc(obs::counter("broker.sap.cache_hits"));
     reply(from, cached->second.payload);
     return;
   }
@@ -85,6 +95,8 @@ void Brokerd::handle_auth(const net::EndPoint& from, ByteReader& r) {
   ByteWriter w;
   if (!decision) {
     ++auth_denied_;
+    obs::inc(obs::counter("broker.sap.denied"));
+    obs::trace(node_.simulator().now(), obs::TraceType::SapAuthDenied, txn);
     CB_LOG(Info, "brokerd") << "auth denied: " << decision.error();
     w.u8(static_cast<std::uint8_t>(BrokerMsg::AuthErr));
     w.u64(txn);
@@ -105,6 +117,8 @@ void Brokerd::handle_auth(const net::EndPoint& from, ByteReader& r) {
   rec.id_t = d.id_t;
   sessions_[d.session_id] = rec;
   ++sessions_issued_;
+  obs::inc(obs::counter("broker.sap.ok"));
+  obs::trace(node_.simulator().now(), obs::TraceType::SapAuthOk, d.session_id);
 
   w.u8(static_cast<std::uint8_t>(BrokerMsg::AuthOk));
   w.u64(txn);
@@ -118,6 +132,7 @@ void Brokerd::handle_auth(const net::EndPoint& from, ByteReader& r) {
 
 void Brokerd::handle_report(const net::EndPoint& from, ByteReader& r) {
   ++reports_received_;
+  obs::inc(obs::counter("broker.reports.received"));
   const std::uint64_t seq = r.u64();
   const Bytes sealed = r.bytes();
   auto opened = sap_.open_box(sealed);
@@ -125,6 +140,7 @@ void Brokerd::handle_report(const net::EndPoint& from, ByteReader& r) {
     // No ACK: an in-flight corruption may have mangled the box, in which
     // case the sender's retransmission of the clean copy will succeed.
     ++reports_rejected_;
+    obs::inc(obs::counter("broker.reports.rejected"));
     return;
   }
   try {
@@ -145,6 +161,7 @@ void Brokerd::handle_report(const net::EndPoint& from, ByteReader& r) {
     }
     if (key == nullptr || !key->verify(report_bytes, sig)) {
       ++reports_rejected_;
+      obs::inc(obs::counter("broker.reports.rejected"));
       CB_LOG(Info, "brokerd") << "report rejected: bad signature from " << reporter_id;
       return;
     }
@@ -152,6 +169,7 @@ void Brokerd::handle_report(const net::EndPoint& from, ByteReader& r) {
     auto report = TrafficReport::deserialize(report_bytes);
     if (!report) {
       ++reports_rejected_;
+      obs::inc(obs::counter("broker.reports.rejected"));
       return;
     }
     // Authenticated and decoded: ACK so the reporter stops retransmitting.
@@ -164,6 +182,7 @@ void Brokerd::handle_report(const net::EndPoint& from, ByteReader& r) {
     ingest_report(reporter_id, type, report.value());
   } catch (const std::out_of_range&) {
     ++reports_rejected_;
+    obs::inc(obs::counter("broker.reports.rejected"));
   }
 }
 
@@ -172,6 +191,7 @@ void Brokerd::ingest_report(const std::string& reporter_id, Reporter type,
   auto sit = sessions_.find(report.session_id);
   if (sit == sessions_.end()) {
     ++reports_rejected_;
+    obs::inc(obs::counter("broker.reports.rejected"));
     return;
   }
   SessionRecord& rec = sit->second;
@@ -179,6 +199,7 @@ void Brokerd::ingest_report(const std::string& reporter_id, Reporter type,
   if ((type == Reporter::Ue && reporter_id != rec.id_u) ||
       (type == Reporter::Telco && reporter_id != rec.id_t)) {
     ++reports_rejected_;
+    obs::inc(obs::counter("broker.reports.rejected"));
     CB_LOG(Info, "brokerd") << "report rejected: " << reporter_id
                             << " not a party of session";
     return;
@@ -189,9 +210,13 @@ void Brokerd::ingest_report(const std::string& reporter_id, Reporter type,
       (static_cast<std::uint64_t>(report.period) << 1) | static_cast<std::uint64_t>(type);
   if (!rec.seen.insert(seen_key).second) {
     ++reports_deduped_;
+    obs::inc(obs::counter("broker.reports.deduped"));
     return;
   }
   ++reports_ingested_;
+  obs::inc(obs::counter("broker.reports.ingested"));
+  obs::trace(node_.simulator().now(), obs::TraceType::ReportIngest, report.session_id,
+             report.period);
   if (type == Reporter::Ue) {
     rec.ue_dl_bytes += report.dl_bytes;
   } else {
@@ -215,8 +240,11 @@ void Brokerd::compare_if_paired(std::uint64_t session_id, std::uint32_t period) 
   reputation_.record(rec.id_u, rec.id_t, verdict);
   rec.pairs_compared += 1;
   ++pairs_compared_total_;
+  obs::inc(obs::counter("broker.pairs.compared"));
+  obs::trace(node_.simulator().now(), obs::TraceType::ReportPaired, session_id, period);
   if (verdict.mismatch) {
     rec.mismatches += 1;
+    obs::inc(obs::counter("broker.pairs.mismatch"));
     CB_LOG(Info, "brokerd") << "billing mismatch: session " << session_id << " period "
                             << period << " delta " << verdict.delta << "B (threshold "
                             << static_cast<std::int64_t>(verdict.threshold) << "B)";
@@ -251,6 +279,8 @@ void Brokerd::sweep() {
       reputation_.record_missing(sit->second.id_u, sit->second.id_t, missing);
     }
     ++unpaired_expired_;
+    obs::inc(obs::counter("broker.reports.unpaired_expired"));
+    obs::trace(now, obs::TraceType::ReportUnpairedExpired, session_id, period);
     CB_LOG(Info, "brokerd") << "report pair timeout: session " << session_id << " period "
                             << period << " missing "
                             << (missing == Reporter::Ue ? "UE" : "bTelco") << " report";

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace cb::cellbricks {
 
@@ -161,6 +162,9 @@ void Btelco::install_session(const TelcoSession& ts, net::Node* ue_node,
   const net::Ipv4Addr ip = s.ip;
   auto [sit, inserted] = sessions_.emplace(s.id, std::move(s));
   ++attaches_;
+  obs::inc(obs::counter("btelco.attaches"));
+  obs::set(obs::gauge("btelco.sessions.active"), static_cast<double>(sessions_.size()));
+  obs::trace(node_.simulator().now(), obs::TraceType::SessionInstalled, sid);
 
   // Periodic traffic reports for billing.
   sit->second.report_timer = node_.simulator().schedule(
@@ -215,6 +219,8 @@ void Btelco::send_report(std::uint64_t session_id, bool final_report) {
   out.wire = w.take();
   out.attempts_left = config_.report_attempts;
   out.next_delay = config_.report_retry;
+  obs::inc(obs::counter("btelco.reports.sent"));
+  obs::trace(node_.simulator().now(), obs::TraceType::ReportSend, seq, report.period);
   transmit_report(seq);
 
   if (!final_report) {
@@ -229,11 +235,14 @@ void Btelco::transmit_report(std::uint64_t seq) {
   OutstandingReport& out = it->second;
   if (out.attempts_left <= 0) {
     ++reports_abandoned_;
+    obs::inc(obs::counter("btelco.reports.abandoned"));
+    obs::trace(node_.simulator().now(), obs::TraceType::ReportAbandoned, seq);
     CB_LOG(Info, "btelco") << id() << ": report " << seq << " abandoned (no broker ACK)";
     outstanding_reports_.erase(it);
     return;
   }
   --out.attempts_left;
+  obs::inc(obs::counter("btelco.reports.tx"));
   net::Packet p;
   p.src = net::EndPoint{node_.primary_address(), port_};
   p.dst = broker_;
@@ -250,6 +259,8 @@ void Btelco::handle_report_ack(std::uint64_t seq) {
   if (it == outstanding_reports_.end()) return;
   it->second.timer.cancel();
   outstanding_reports_.erase(it);
+  obs::inc(obs::counter("btelco.reports.acked"));
+  obs::trace(node_.simulator().now(), obs::TraceType::ReportAck, seq);
 }
 
 void Btelco::handle_detach(std::uint64_t session_id) {
@@ -313,6 +324,8 @@ void Btelco::gc_sweep() {
     send_report(sid, /*final=*/true);
     release_session(sid);
     ++sessions_gced_;
+    obs::inc(obs::counter("btelco.sessions.gced"));
+    obs::trace(now, obs::TraceType::SessionGc, sid);
   }
   if (!sessions_.empty()) {
     gc_timer_ = node_.simulator().schedule(config_.gc_interval, [this] { gc_sweep(); });
@@ -328,6 +341,9 @@ void Btelco::release_session(std::uint64_t session_id) {
   network_.unregister_address(s.ip);
   by_ip_.erase(s.ip);
   sessions_.erase(it);
+  obs::inc(obs::counter("btelco.sessions.released"));
+  obs::set(obs::gauge("btelco.sessions.active"), static_cast<double>(sessions_.size()));
+  obs::trace(node_.simulator().now(), obs::TraceType::SessionReleased, session_id);
 }
 
 }  // namespace cb::cellbricks

@@ -4,6 +4,7 @@
 
 #include "common/log.hpp"
 #include "crypto/hmac.hpp"
+#include "obs/metrics.hpp"
 
 namespace cb::cellbricks {
 
@@ -72,13 +73,17 @@ Bytes SapUe::make_auth_req(const std::string& id_t, Rng& rng) {
   req.str(id_b_);
   req.bytes(auth_vec_enc);
   req.bytes(sig);
+  obs::inc(obs::counter("sap.ue.auth_req_built"));
   return req.take();
 }
 
 Result<UeSession> SapUe::process_auth_resp(BytesView auth_resp_u) {
   // Fig.2 steps 5-6.
   auto inner = open_and_verify(keys_, broker_key_, auth_resp_u);
-  if (!inner) return Result<UeSession>::err("authRespU: " + inner.error());
+  if (!inner) {
+    obs::inc(obs::counter("sap.ue.auth_resp_invalid"));
+    return Result<UeSession>::err("authRespU: " + inner.error());
+  }
   try {
     ByteReader r(inner.value());
     const std::string id_u = r.str();
@@ -98,6 +103,7 @@ Result<UeSession> SapUe::process_auth_resp(BytesView auth_resp_u) {
     session.id_t = id_t;
     session.session_id = session_id;
     session.security = SecurityContext::derive(ss);
+    obs::inc(obs::counter("sap.ue.auth_resp_ok"));
     return session;
   } catch (const std::out_of_range&) {
     return Result<UeSession>::err("authRespU: truncated");
@@ -150,6 +156,7 @@ Result<TelcoSession> SapTelco::process_auth_resp(BytesView auth_resp_t,
     session.session_id = r.u64();
     if (id_t != id_t_) return Result<TelcoSession>::err("authRespT: addressed to another bTelco");
     session.security = SecurityContext::derive(ss);
+    obs::inc(obs::counter("sap.telco.auth_resp_ok"));
     return session;
   } catch (const std::out_of_range&) {
     return Result<TelcoSession>::err("authRespT: truncated");
@@ -261,6 +268,7 @@ Result<BrokerDecision> SapBroker::process_auth_req(
     u_inner.u64(d.session_id);
     d.auth_resp_u = sign_and_seal(keys_, sub->second, u_inner.data(), rng);
 
+    obs::inc(obs::counter("sap.broker.auth_req_ok"));
     return d;
   } catch (const std::out_of_range&) {
     return R::err("authReqT: truncated");

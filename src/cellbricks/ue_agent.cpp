@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace cb::cellbricks {
 
@@ -47,6 +48,8 @@ void UeAgent::attach(ran::CellId cell, std::function<void(Result<net::Ipv4Addr>)
   const ran::TowerSite site = ran_map_.site(cell);
   site.radio_link->set_up(true);  // radio-layer connectivity (reused as-is)
   attach_started_ = ue_node_.simulator().now();
+  obs::inc(obs::counter("ue_agent.attach.attempts"));
+  obs::trace(attach_started_, obs::TraceType::AttachStart, cell);
   const std::uint64_t gen = ++attach_generation_;
   auto done_shared =
       std::make_shared<std::function<void(R)>>(done ? std::move(done) : [](R) {});
@@ -55,6 +58,8 @@ void UeAgent::attach(ran::CellId cell, std::function<void(Result<net::Ipv4Addr>)
   // optimistic set_up unless this link meanwhile serves a live session.
   auto fail = [this, cell, site, done_shared](std::string error) {
     ++attach_failures_;
+    obs::inc(obs::counter("ue_agent.attach.failure"));
+    obs::trace(ue_node_.simulator().now(), obs::TraceType::AttachFail, cell);
     if (!attached() || serving_cell_ != cell) site.radio_link->set_up(false);
     (*done_shared)(R::err(std::move(error)));
   };
@@ -64,10 +69,12 @@ void UeAgent::attach(ran::CellId cell, std::function<void(Result<net::Ipv4Addr>)
   // continuation that might still limp in afterwards.
   attach_deadline_.cancel();
   attach_deadline_ =
-      ue_node_.simulator().schedule(config_.attach_timeout, [this, gen, fail] {
+      ue_node_.simulator().schedule(config_.attach_timeout, [this, gen, cell, fail] {
         if (gen != attach_generation_) return;
         ++attach_generation_;
         CB_LOG(Info, "ue-agent") << id() << ": attach timed out";
+        obs::inc(obs::counter("ue_agent.attach.timeout"));
+        obs::trace(ue_node_.simulator().now(), obs::TraceType::AttachTimeout, cell);
         fail("attach timeout");
       });
 
@@ -122,6 +129,11 @@ void UeAgent::attach(ran::CellId cell, std::function<void(Result<net::Ipv4Addr>)
 
                 last_attach_latency_ = ue_node_.simulator().now() - attach_started_;
                 attach_latencies_.add(last_attach_latency_.to_millis());
+                obs::inc(obs::counter("ue_agent.attach.success"));
+                obs::observe(obs::histogram("ue_agent.attach_latency_ms"),
+                             last_attach_latency_.to_millis());
+                obs::trace(ue_node_.simulator().now(), obs::TraceType::AttachOk, cell,
+                           static_cast<std::uint64_t>(last_attach_latency_.nanos() / 1000));
 
                 // Flush reports stranded while detached (oldest first).
                 std::vector<std::uint64_t> stranded;
@@ -189,6 +201,9 @@ void UeAgent::try_attach(ran::CellId preferred) {
       in_recovery_ = false;
       const Duration outage = ue_node_.simulator().now() - outage_started_;
       reattach_latencies_.add(outage.to_millis());
+      obs::observe(obs::histogram("ue_agent.reattach_latency_ms"), outage.to_millis());
+      obs::trace(ue_node_.simulator().now(), obs::TraceType::HandoverReattach, cell,
+                 static_cast<std::uint64_t>(outage.nanos() / 1000));
       CB_LOG(Info, "ue-agent") << id() << ": recovered on cell " << cell << " after "
                                << outage.to_millis() << " ms";
       return;
@@ -201,6 +216,8 @@ void UeAgent::try_attach(ran::CellId preferred) {
 }
 
 void UeAgent::schedule_retry(ran::CellId preferred) {
+  obs::inc(obs::counter("ue_agent.attach.retries"));
+  obs::trace(ue_node_.simulator().now(), obs::TraceType::AttachRetry, preferred);
   recovery_timer_ = ue_node_.simulator().schedule(recovery_backoff_,
                                                   [this, preferred] { try_attach(preferred); });
   recovery_backoff_ = std::min(recovery_backoff_ * 2, config_.retry_backoff_max);
@@ -224,6 +241,8 @@ void UeAgent::watchdog() {
   }
   ++bearer_losses_;
   const ran::CellId lost = serving_cell_;
+  obs::inc(obs::counter("ue_agent.bearer_losses"));
+  obs::trace(ue_node_.simulator().now(), obs::TraceType::BearerLoss, lost);
   CB_LOG(Info, "ue-agent") << id() << ": bearer to cell " << lost
                            << " lost, entering recovery";
   detach_locally();
@@ -279,6 +298,8 @@ void UeAgent::send_report(bool final_report) {
   out.wire = w.take();
   out.attempts_left = config_.report_attempts;
   out.next_delay = config_.report_retry;
+  obs::inc(obs::counter("ue_agent.reports.sent"));
+  obs::trace(ue_node_.simulator().now(), obs::TraceType::ReportSend, seq, report.period);
   transmit_report(seq);
 
   if (!final_report) {
@@ -294,11 +315,14 @@ void UeAgent::transmit_report(std::uint64_t seq) {
   OutstandingReport& out = it->second;
   if (out.attempts_left <= 0) {
     ++reports_abandoned_;
+    obs::inc(obs::counter("ue_agent.reports.abandoned"));
+    obs::trace(ue_node_.simulator().now(), obs::TraceType::ReportAbandoned, seq);
     CB_LOG(Info, "ue-agent") << id() << ": report " << seq << " abandoned (no broker ACK)";
     outstanding_reports_.erase(it);
     return;
   }
   --out.attempts_left;
+  obs::inc(obs::counter("ue_agent.reports.tx"));
   net::Packet p;
   p.src = net::EndPoint{current_ip_, kUeReportPort};
   p.dst = broker_report_ep_;
@@ -315,6 +339,8 @@ void UeAgent::handle_report_ack(std::uint64_t seq) {
   if (it == outstanding_reports_.end()) return;
   it->second.timer.cancel();
   outstanding_reports_.erase(it);
+  obs::inc(obs::counter("ue_agent.reports.acked"));
+  obs::trace(ue_node_.simulator().now(), obs::TraceType::ReportAck, seq);
 }
 
 void UeAgent::detach() {
@@ -325,6 +351,9 @@ void UeAgent::detach() {
 }
 
 void UeAgent::detach_locally() {
+  if (serving_cell_ != 0) {
+    obs::trace(ue_node_.simulator().now(), obs::TraceType::HandoverDetach, serving_cell_);
+  }
   report_timer_.cancel();
   attach_deadline_.cancel();
   watchdog_timer_.cancel();

@@ -1,6 +1,7 @@
 #include "epc/hss.hpp"
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace cb::epc {
 
@@ -34,6 +35,7 @@ void Hss::handle(const net::Packet& packet) {
 
       auto sub = subscribers_.find(imsi);
       if (sub == subscribers_.end()) {
+        obs::inc(obs::counter("epc.hss.unknown_subscriber"));
         ByteWriter w;
         w.u8(static_cast<std::uint8_t>(S6aType::Error));
         w.u64(txn);
@@ -43,6 +45,7 @@ void Hss::handle(const net::Packet& packet) {
       }
 
       if (type == S6aType::AuthInfoReq) {
+        obs::inc(obs::counter("epc.hss.air_served"));
         const AuthVector v = generate_auth_vector(sub->second, rng_);
         ByteWriter w;
         w.u8(static_cast<std::uint8_t>(S6aType::AuthInfoResp));
@@ -53,6 +56,7 @@ void Hss::handle(const net::Packet& packet) {
         w.bytes(v.kasme);
         reply(from, w.take());
       } else if (type == S6aType::UpdateLocationReq) {
+        obs::inc(obs::counter("epc.hss.ulr_served"));
         locations_[imsi] = from.to_string();
         ByteWriter w;
         w.u8(static_cast<std::uint8_t>(S6aType::UpdateLocationResp));

@@ -1,6 +1,7 @@
 #include "epc/mme.hpp"
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace cb::epc {
 
@@ -43,13 +44,18 @@ void Mme::fail(std::uint64_t txn, const std::string& reason) {
   if (it == pending_.end()) return;
   auto done = std::move(it->second.hooks.done);
   pending_.erase(it);
+  obs::inc(obs::counter("epc.mme.attach.failure"));
   if (done) done(Result<net::Ipv4Addr>::err(reason));
 }
 
 void Mme::attach(const std::string& imsi, net::Node* ue_node, net::Node* tower,
                  net::Link* radio_link, AttachHooks hooks) {
   const std::uint64_t txn = next_txn_++;
-  pending_[txn] = PendingAttach{imsi, ue_node, tower, radio_link, std::move(hooks), {}};
+  const TimePoint started = node_.simulator().now();
+  pending_[txn] =
+      PendingAttach{imsi, ue_node, tower, radio_link, std::move(hooks), {}, started};
+  obs::inc(obs::counter("epc.mme.attach.attempts"));
+  obs::trace(started, obs::TraceType::EpcAttachStart, txn);
 
   // [AGW msg 1/4] Process the Attach Request; query the HSS for vectors.
   queue_.submit(profile_.agw_msg, [this, txn, imsi] {
@@ -98,6 +104,12 @@ void Mme::attach(const std::string& imsi, net::Node* ue_node, net::Node* tower,
                   const net::Ipv4Addr ip = spgw_.create_session(
                       ctx.imsi, ctx.ue_node, ctx.tower, ctx.radio_link);
                   ++completed_;
+                  const TimePoint now = node_.simulator().now();
+                  obs::inc(obs::counter("epc.mme.attach.success"));
+                  obs::observe(obs::histogram("epc.mme.attach_latency_ms"),
+                               (now - ctx.started_at).to_millis());
+                  obs::trace(now, obs::TraceType::EpcAttachDone, txn,
+                             static_cast<std::uint64_t>((now - ctx.started_at).nanos() / 1000));
                   ctx.hooks.done(ip);
                 });
               };

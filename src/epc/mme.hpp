@@ -66,6 +66,7 @@ class Mme {
     net::Link* radio_link;
     AttachHooks hooks;
     Bytes xres;
+    TimePoint started_at;
   };
 
   void handle_hss_reply(const net::Packet& packet);

@@ -7,11 +7,19 @@
 namespace cb::epc {
 
 SgwPgw::SgwPgw(net::Network& network, net::Node& gw_node, std::uint8_t ip_subnet)
-    : network_(network), gw_node_(gw_node), subnet_(ip_subnet) {
+    : network_(network),
+      gw_node_(gw_node),
+      subnet_(ip_subnet),
+      obs_dl_packets_(obs::counter("epc.spgw.dl_packets")),
+      obs_dl_bytes_(obs::counter("epc.spgw.dl_bytes")),
+      obs_ul_packets_(obs::counter("epc.spgw.ul_packets")),
+      obs_ul_bytes_(obs::counter("epc.spgw.ul_bytes")) {
   // Uplink metering: count transit packets sourced from subscriber IPs.
   gw_node_.set_forward_hook([this](net::Packet& p) {
     if (auto it = by_ip_.find(p.src.addr); it != by_ip_.end()) {
       sessions_[it->second].usage.ul_bytes += p.wire_size();
+      obs::inc(obs_ul_packets_);
+      obs::inc(obs_ul_bytes_, p.wire_size());
     }
     return false;  // metering only: normal routing continues
   });
@@ -63,6 +71,7 @@ net::Ipv4Addr SgwPgw::create_session(const std::string& imsi, net::Node* ue_node
 
   by_ip_[s.ip] = imsi;
   sessions_[imsi] = s;
+  obs::inc(obs::counter("epc.spgw.sessions_created"));
   CB_LOG(Debug, "spgw") << "session " << imsi << " ip " << s.ip.to_string();
   return s.ip;
 }
@@ -72,6 +81,8 @@ void SgwPgw::downlink(const std::string& imsi, net::Packet&& packet) {
   if (it == sessions_.end()) return;
   Session& s = it->second;
   s.usage.dl_bytes += packet.wire_size();
+  obs::inc(obs_dl_packets_);
+  obs::inc(obs_dl_bytes_, packet.wire_size());
   if (s.backhaul != nullptr) {
     s.backhaul->send(&gw_node_, std::move(packet));
   } else {
@@ -82,6 +93,7 @@ void SgwPgw::downlink(const std::string& imsi, net::Packet&& packet) {
 void SgwPgw::path_switch(const std::string& imsi, net::Node* tower, net::Link* radio_link) {
   auto it = sessions_.find(imsi);
   if (it == sessions_.end()) throw std::logic_error("SgwPgw: path_switch without session");
+  obs::inc(obs::counter("epc.spgw.path_switches"));
   Session& s = it->second;
   if (s.tower != &gw_node_) tower_bearers_[s.tower].erase(s.ip);
   s.tower = tower;

@@ -13,6 +13,7 @@
 #include <unordered_map>
 
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
 
 namespace cb::epc {
 
@@ -64,6 +65,12 @@ class SgwPgw {
   // Per-tower map of UE address -> radio link, consulted by the tower's
   // forward hook (survives global route recomputation).
   std::unordered_map<net::Node*, std::unordered_map<net::Ipv4Addr, net::Link*>> tower_bearers_;
+  // Cached per-packet metric handles: resolved once at construction against
+  // the registry active on the constructing (trial) thread; null = disabled.
+  obs::Counter* obs_dl_packets_ = nullptr;
+  obs::Counter* obs_dl_bytes_ = nullptr;
+  obs::Counter* obs_ul_packets_ = nullptr;
+  obs::Counter* obs_ul_bytes_ = nullptr;
 };
 
 }  // namespace cb::epc

@@ -1,0 +1,105 @@
+// Flight recorder: a bounded ring buffer of typed simulation events.
+//
+// Components append fixed-size records (sim-time stamp, event type, two
+// type-specific operands) as interesting things happen — attach phases, SAP
+// round trips, handover detach→reattach gaps, report send/ack, MPTCP subflow
+// switches. The ring keeps the most recent `capacity` records with O(1)
+// memory and no allocation after construction, so it can stay armed for a
+// whole run and be dumped on demand when something needs explaining.
+//
+// Determinism: records carry sim-time only (never wall clock), so two
+// same-seed runs produce identical rings; fingerprint() condenses that into
+// a single comparable value, the trace twin of the chaos state fingerprint.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace cb::obs {
+
+/// Typed simulation events. Operands `a`/`b` are event-specific (cell ids,
+/// session ids, report sequence numbers, subflow tokens).
+enum class TraceType : std::uint8_t {
+  // UE attach lifecycle (a = cell id).
+  AttachStart = 1,
+  AttachOk,        // b = latency in microseconds
+  AttachFail,
+  AttachTimeout,
+  AttachRetry,
+  // SAP round trip, broker side (a = session id).
+  SapAuthOk,
+  SapAuthDenied,
+  // Host-driven mobility (a = cell id).
+  HandoverDetach,
+  HandoverReattach,  // b = outage-to-recovered gap in microseconds
+  BearerLoss,
+  CellChange,        // a = old cell, b = new cell
+  // Billing report channel (a = report seq or session id, b = period).
+  ReportSend,
+  ReportAck,
+  ReportAbandoned,
+  ReportIngest,
+  ReportPaired,
+  ReportUnpairedExpired,
+  // bTelco session lifecycle (a = session id).
+  SessionInstalled,
+  SessionReleased,
+  SessionGc,
+  // MPTCP path management (a = connection token).
+  SubflowOpen,
+  SubflowSwitch,
+  SubflowClose,
+  // EPC baseline attach (a = MME transaction).
+  EpcAttachStart,
+  EpcAttachDone,
+};
+
+const char* to_string(TraceType type);
+
+struct TraceRecord {
+  TimePoint at;
+  TraceType type = TraceType::AttachStart;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+
+  bool operator==(const TraceRecord&) const = default;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 8192);
+
+  /// Append one record; overwrites the oldest once the ring is full.
+  void record(TimePoint at, TraceType type, std::uint64_t a = 0, std::uint64_t b = 0);
+
+  std::size_t capacity() const { return ring_.size(); }
+  /// Records currently held (<= capacity).
+  std::size_t size() const;
+  /// Records appended over the recorder's lifetime.
+  std::uint64_t total_recorded() const { return total_; }
+  /// Records evicted by wraparound (= total_recorded - size).
+  std::uint64_t dropped() const;
+
+  /// Snapshot of the held records, oldest first.
+  std::vector<TraceRecord> dump() const;
+
+  /// FNV-1a over the held records — the determinism witness for traces.
+  std::uint64_t fingerprint() const;
+
+  /// Full on-demand dump as a JSON array of event objects (oldest first).
+  std::string to_json() const;
+
+  /// Fold another recorder's records in, oldest first (per-trial merge).
+  void append(const FlightRecorder& other);
+
+  void clear();
+
+ private:
+  std::vector<TraceRecord> ring_;  // fixed size; slot i holds record (total_ - size + i)
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace cb::obs

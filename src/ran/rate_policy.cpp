@@ -1,6 +1,8 @@
 #include "ran/rate_policy.hpp"
 #include <cmath>
 
+#include "obs/metrics.hpp"
+
 namespace cb::ran {
 
 BearerShaper::BearerShaper(sim::Simulator& sim, net::Link& link, net::Node* downlink_from,
@@ -44,6 +46,7 @@ void BearerShaper::tick() {
   }
   if (cap_bps_ > 0.0 && (rate == 0.0 || cap_bps_ < rate)) rate = cap_bps_;
   current_rate_ = rate;
+  obs::set(obs::gauge("ran.shaper.rate_bps"), rate);
 
   net::LinkParams params = link_.params(from_);
   params.rate_bps = rate;

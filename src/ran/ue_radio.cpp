@@ -1,6 +1,7 @@
 #include "ran/ue_radio.hpp"
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace cb::ran {
 
@@ -57,6 +58,8 @@ void UeRadio::measure() {
     const CellId old = serving_;
     serving_ = next;
     ++changes_;
+    obs::inc(obs::counter("ran.cell_changes"));
+    obs::trace(sim_.now(), obs::TraceType::CellChange, old, next);
     CB_LOG(Debug, "ran") << "cell change " << old << " -> " << next;
     if (on_cell_change_) on_cell_change_(old, next);
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace cb::scenario {
 
@@ -21,6 +22,13 @@ void fnv_mix(std::uint64_t& h, std::uint64_t v) {
 }  // namespace
 
 ChaosResult run_chaos(const ChaosConfig& config) {
+  // Every chaos run records into its own registry so the ChaosResult carries
+  // a self-contained snapshot; anything recorded here is also folded into
+  // the caller's registry (if one is active) before returning.
+  obs::Registry* parent = obs::active();
+  obs::Registry metrics;
+  obs::ScopedRegistry scoped(&metrics);
+
   WorldConfig wcfg = config.world;
   wcfg.arch = Architecture::CellBricks;
   World world(wcfg);
@@ -137,6 +145,9 @@ ChaosResult run_chaos(const ChaosConfig& config) {
   fnv_mix(fp, result.pairs_compared);
   fnv_mix(fp, static_cast<std::uint64_t>(result.fault_log.size()));
   result.fingerprint = fp;
+  result.metrics_json = metrics.to_json();
+  result.trace_fingerprint = metrics.trace().fingerprint();
+  if (parent != nullptr) parent->merge(metrics);
   return result;
 }
 

@@ -81,6 +81,13 @@ struct ChaosResult {
   /// FNV-1a over the sampled (attached, serving cell, active faults)
   /// timeline and the final counters. Equal across same-seed runs.
   std::uint64_t fingerprint = 0;
+
+  /// Deterministic obs snapshot of the run: the full registry JSON and the
+  /// flight-recorder fingerprint. Kept out of `fingerprint` so the engine
+  /// golden value stays stable as instrumentation evolves; the obs golden
+  /// test compares these two separately.
+  std::string metrics_json;
+  std::uint64_t trace_fingerprint = 0;
 };
 
 ChaosResult run_chaos(const ChaosConfig& config);

@@ -21,10 +21,13 @@
 #include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace cb::scenario {
 
@@ -42,14 +45,29 @@ class TrialRunner {
   /// Run fn(0), fn(1), ..., fn(n-1) on the pool and return the results in
   /// index order. Blocks until every trial finishes. If any trial throws,
   /// the first exception (by index) is rethrown after all trials complete.
+  ///
+  /// Metrics: if the calling thread has an active obs::Registry, each trial
+  /// runs with a private per-trial registry installed on its worker thread,
+  /// and all of them are merged into the caller's registry strictly in trial
+  /// INDEX order after the barrier — never in completion order — so a
+  /// parallel sweep snapshots byte-identically to `threads = 1`.
   template <typename Fn>
   auto map(std::size_t n, Fn&& fn) -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
     using R = std::invoke_result_t<Fn&, std::size_t>;
     std::vector<R> results(n);
     std::vector<std::exception_ptr> errors(n);
+    obs::Registry* parent = obs::active();
+    std::vector<std::unique_ptr<obs::Registry>> trial_metrics;
+    if (parent != nullptr) {
+      trial_metrics.resize(n);
+      for (auto& r : trial_metrics) {
+        r = std::make_unique<obs::Registry>(parent->trace().capacity());
+      }
+    }
     Batch batch;
     for (std::size_t i = 0; i < n; ++i) {
-      submit([&, i] {
+      submit([&, i, parent] {
+        obs::ScopedRegistry scoped(parent ? trial_metrics[i].get() : nullptr);
         try {
           results[i] = fn(i);
         } catch (...) {
@@ -58,6 +76,9 @@ class TrialRunner {
       }, batch);
     }
     wait(batch, n);
+    if (parent != nullptr) {
+      for (std::size_t i = 0; i < n; ++i) parent->merge(*trial_metrics[i]);
+    }
     for (auto& e : errors) {
       if (e) std::rethrow_exception(e);
     }

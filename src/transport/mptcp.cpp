@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace cb::transport {
 
@@ -102,6 +103,8 @@ void MptcpSocket::start_initial_subflow(net::Ipv4Addr local_addr) {
 }
 
 void MptcpSocket::add_client_subflow(net::Ipv4Addr local_addr) {
+  obs::inc(obs::counter("mptcp.subflows.opened"));
+  obs::trace(stack_.simulator().now(), obs::TraceType::SubflowOpen, token_);
   auto tcp = stack_.tcp().connect(remote_, local_addr);
   subflows_.push_back(Subflow{tcp, {}, false, false});
   const std::size_t index = subflows_.size() - 1;
@@ -138,6 +141,7 @@ void MptcpSocket::add_client_subflow(net::Ipv4Addr local_addr) {
 }
 
 void MptcpSocket::adopt_server_subflow(std::shared_ptr<TcpSocket> tcp, ByteQueue carried) {
+  obs::inc(obs::counter("mptcp.subflows.adopted"));
   subflows_.push_back(Subflow{std::move(tcp), std::move(carried), true, false});
   const std::size_t index = subflows_.size() - 1;
   attach_subflow_callbacks(index);
@@ -390,6 +394,8 @@ void MptcpSocket::on_subflow_closed(std::size_t index, const std::string& reason
   Subflow& sf = subflows_[index];
   sf.dead = true;
   if (finished_) return;
+  obs::inc(obs::counter("mptcp.subflows.closed"));
+  obs::trace(stack_.simulator().now(), obs::TraceType::SubflowClose, token_);
   CB_LOG(Debug, "mptcp") << "subflow closed (" << reason << ")";
   if (active_subflow() != nullptr) {
     try_send();
@@ -428,6 +434,8 @@ void MptcpSocket::handle_address_available(net::Ipv4Addr addr) {
   if (finished_ || role_ != Role::Client) return;
   if (active_subflow() != nullptr) return;  // current path still fine
   address_wait_timer_.cancel();
+  obs::inc(obs::counter("mptcp.subflows.switches"));
+  obs::trace(stack_.simulator().now(), obs::TraceType::SubflowSwitch, token_);
   if (config_.address_wait == Duration::zero()) {
     add_client_subflow(addr);
     return;

@@ -294,6 +294,7 @@ void TcpSocket::retransmit_holes(int budget, bool force_first) {
       return;
     }
     ++retransmits_;
+    obs::inc(stack_.obs_rtx_);
     rtt_sampling_ = false;
     --budget;
   }
@@ -397,6 +398,8 @@ void TcpSocket::on_rto() {
   ++backoff_;
   rtt_sampling_ = false;
   ++retransmits_;
+  obs::inc(stack_.obs_rtx_);
+  obs::inc(stack_.obs_rto_);
   // Go-back with SACK awareness: resume from the oldest unacked byte; the
   // forward walk in try_send skips ranges the receiver already has.
   snd_nxt_ = snd_una_;
@@ -688,7 +691,13 @@ void TcpSocket::finish(const std::string& reason) {
 // --- TcpStack -----------------------------------------------------------------
 
 TcpStack::TcpStack(net::Node& node, TcpConfig config)
-    : node_(node), config_(config), rng_(node.simulator().rng().fork(0x7C9)) {
+    : node_(node),
+      config_(config),
+      rng_(node.simulator().rng().fork(0x7C9)),
+      obs_tx_(obs::counter("tcp.segments.sent")),
+      obs_rx_(obs::counter("tcp.segments.received")),
+      obs_rtx_(obs::counter("tcp.retransmits")),
+      obs_rto_(obs::counter("tcp.rto")) {
   node_.set_tcp_demux([this](net::Packet&& p) { dispatch(std::move(p)); });
 }
 
@@ -741,6 +750,7 @@ void TcpStack::dispatch(net::Packet&& packet) {
   TcpHeader h;
   Bytes payload;
   if (!parse_segment(packet.payload, h, payload)) return;
+  obs::inc(obs_rx_);
 
   const net::EndPoint local = packet.dst;
   const net::EndPoint remote = packet.src;
@@ -774,6 +784,7 @@ void TcpStack::dispatch(net::Packet&& packet) {
 }
 
 void TcpStack::transmit(const net::EndPoint& src, const net::EndPoint& dst, Bytes wire) {
+  obs::inc(obs_tx_);
   net::Packet p;
   p.src = src;
   p.dst = dst;

@@ -16,6 +16,7 @@
 
 #include "common/time.hpp"
 #include "net/node.hpp"
+#include "obs/metrics.hpp"
 #include "transport/byte_queue.hpp"
 #include "transport/stream_socket.hpp"
 
@@ -237,6 +238,12 @@ class TcpStack {
   std::unordered_map<FlowKey, std::shared_ptr<TcpSocket>, FlowKeyHash> sockets_;
   std::unordered_map<std::uint16_t, AcceptCallback> listeners_;
   Rng rng_;
+  // Per-segment metric handles, cached once at stack construction so the
+  // datapath pays one null check instead of a name lookup per segment.
+  obs::Counter* obs_tx_ = nullptr;
+  obs::Counter* obs_rx_ = nullptr;
+  obs::Counter* obs_rtx_ = nullptr;
+  obs::Counter* obs_rto_ = nullptr;
 };
 
 }  // namespace cb::transport

@@ -5,6 +5,11 @@
 # resulting speedup. Re-run after any hot-path change and commit the JSONs
 # so the perf trajectory stays in-repo (see EXPERIMENTS.md).
 #
+# Also guards the observability layer's cost claim: bench_scale_users --smoke
+# is run with metrics enabled and with --no-metrics (min-of-3 each), the
+# delta is recorded under "instrumentation" in BENCH_scale.json, and the
+# script fails if instrumentation costs more than 5%.
+#
 # Usage: tools/bench.sh [--smoke] [--build-dir DIR]
 #   --smoke      reduced point set / fewer repetitions; used by tools/ci.sh
 #                to validate the JSON schema quickly. Smoke numbers are NOT
@@ -55,6 +60,15 @@ SCALE_ARGS=(--json "$TMP/scale.json")
 if [[ "$SMOKE" == 1 ]]; then SCALE_ARGS+=(--smoke); fi
 "$SCALE_BIN" "${SCALE_ARGS[@]}" >/dev/null
 
+# --- Instrumentation-overhead guard ------------------------------------------
+# The obs layer claims near-zero cost: compare bench_scale_users --smoke with
+# metrics enabled vs --no-metrics, min-of-5 each (the min filters scheduler
+# noise), and fail if instrumentation costs more than 5%.
+for i in 1 2 3 4 5; do
+  "$SCALE_BIN" --smoke --json "$TMP/obs_on_$i.json" >/dev/null
+  "$SCALE_BIN" --smoke --no-metrics --json "$TMP/obs_off_$i.json" >/dev/null
+done
+
 # --- Assemble the committed BENCH_*.json -------------------------------------
 SMOKE="$SMOKE" python3 - "$TMP/sap.json" "$TMP/scale.json" <<'EOF'
 import json, os, sys
@@ -89,6 +103,20 @@ sap = {
 json.dump(sap, open("BENCH_sap.json", "w"), indent=2)
 print("BENCH_sap.json:", json.dumps(sap["speedup"]))
 
+# Overhead guard: smoke wall-clock with metrics enabled vs --no-metrics.
+tmp = os.path.dirname(sys.argv[1])
+on = min(json.load(open(f"{tmp}/obs_on_{i}.json"))["wall_s"] for i in range(1, 6))
+off = min(json.load(open(f"{tmp}/obs_off_{i}.json"))["wall_s"] for i in range(1, 6))
+overhead_pct = (on / off - 1.0) * 100.0
+instrumentation = {
+    "enabled_wall_s": on,
+    "disabled_wall_s": off,
+    "overhead_pct": round(overhead_pct, 2),
+    "budget_pct": 5.0,
+}
+print("instrumentation overhead: %.2f%% (enabled %.3fs vs disabled %.3fs)"
+      % (overhead_pct, on, off))
+
 scale = {
     "bench": "scale_users",
     "mode": scale_raw["mode"],
@@ -96,11 +124,19 @@ scale = {
                  "label": "pre-PR3 (sequential, deep-copy packets)"},
     "current": {"wall_s": scale_raw["wall_s"], "threads": scale_raw["threads"]},
     "speedup": {"wall": round(SCALE_BASE_WALL_S / scale_raw["wall_s"], 2)},
+    "instrumentation": instrumentation,
     "points": scale_raw["points"],
+    # Deterministic obs snapshot of the run (see DESIGN.md §9): SAP latency
+    # histograms, attach/report counters, flight-recorder fingerprint.
+    "metrics": scale_raw["metrics"],
 }
 json.dump(scale, open("BENCH_scale.json", "w"), indent=2)
 print("BENCH_scale.json: wall %.2fs (%.1fx)" % (scale_raw["wall_s"],
       SCALE_BASE_WALL_S / scale_raw["wall_s"]))
+
+if overhead_pct > 5.0:
+    sys.exit("FAIL: instrumentation overhead %.2f%% exceeds the 5%% budget"
+             % overhead_pct)
 EOF
 
 echo "bench.sh done (mode: $([[ "$SMOKE" == 1 ]] && echo smoke || echo full))"

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # CI entry point: two-config matrix.
 #
-#   1. Debug + ASan/UBSan (leak checking ENABLED) — tier-1 tests. Memory
-#      bugs in the event-driven callback soup are exactly the kind the
-#      sanitizers catch and unit tests miss; the transport-layer socket
-#      cycles that used to force detect_leaks=0 were broken up in PR 3.
+#   1. Debug + ASan/UBSan (leak checking ENABLED) — tier-1 tests, including
+#      the Obs* observability suites. Memory bugs in the event-driven
+#      callback soup are exactly the kind the sanitizers catch and unit
+#      tests miss; the transport-layer socket cycles that used to force
+#      detect_leaks=0 were broken up in PR 3.
 #   2. Release — tier-1 tests at the optimization level users run, plus a
-#      bench smoke run that validates the BENCH_*.json schema.
+#      bench smoke run that validates the BENCH_*.json schema, the metrics
+#      section, and the instrumentation-overhead budget.
 #
 # Usage: tools/ci.sh [--skip-sanitized]
 set -euo pipefail
@@ -38,12 +40,30 @@ import json
 sap = json.load(open("BENCH_sap.json"))
 scale = json.load(open("BENCH_scale.json"))
 for doc, keys in ((sap, ("bench", "mode", "baseline", "current", "speedup")),
-                  (scale, ("bench", "mode", "baseline", "current", "speedup", "points"))):
+                  (scale, ("bench", "mode", "baseline", "current", "speedup",
+                           "instrumentation", "points", "metrics"))):
     missing = [k for k in keys if k not in doc]
     assert not missing, f"{doc.get('bench')}: missing keys {missing}"
 assert sap["bench"] == "sap_crypto" and scale["bench"] == "scale_users"
 assert all(k in scale["points"][0] for k in ("n_ues", "arch", "loss", "mean_ms", "p99_ms", "completed"))
-print("BENCH_*.json schema ok")
+
+# Observability snapshot schema (DESIGN.md §9): the four sections, the SAP
+# latency histogram with its full summary tuple, the attach + report-
+# alignment counters, and the flight-recorder fingerprint.
+m = scale["metrics"]
+for section in ("counters", "gauges", "histograms", "trace"):
+    assert section in m, f"metrics: missing section {section}"
+for c in ("broker.sap.requests", "btelco.attaches", "broker.reports.ingested",
+          "broker.reports.unpaired_expired"):
+    assert c in m["counters"], f"metrics: missing counter {c}"
+sap_hist = m["histograms"]["broker.sap_latency_ms"]
+for k in ("count", "sum", "min", "max", "p50", "p95", "p99"):
+    assert k in sap_hist, f"broker.sap_latency_ms: missing {k}"
+assert sap_hist["count"] > 0
+assert m["trace"]["fingerprint"].startswith("0x")
+inst = scale["instrumentation"]
+assert inst["overhead_pct"] <= inst["budget_pct"]
+print("BENCH_*.json schema ok (incl. metrics section)")
 EOF
 # Smoke numbers are not representative — restore the committed full-run JSONs.
 git checkout -- BENCH_sap.json BENCH_scale.json 2>/dev/null || true
