@@ -4,11 +4,18 @@
 // billing-pair completion. The scenario runs twice on the same seed and
 // fails if the state fingerprints differ: fault injection must be
 // bit-reproducible for regression hunting.
+//
+// `--dump-faults F` writes the schedule as JSON; `--replay F` substitutes a
+// schedule from such a file — or from a cbfuzz repro document, whose
+// scenario.faults array uses the same encoding — for the built-in one.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 
+#include "check/json.hpp"
 #include "obs/metrics.hpp"
 #include "scenario/chaos.hpp"
 #include "scenario/trial_runner.hpp"
@@ -17,6 +24,81 @@ using namespace cb;
 using namespace cb::scenario;
 
 namespace {
+
+check::JsonValue faults_to_json(const ChaosConfig& cfg) {
+  check::JsonArray faults;
+  for (const auto& f : cfg.broker_outages) {
+    check::JsonObject jf;
+    jf["kind"] = "broker_outage";
+    jf["start_s"] = f.start.to_seconds();
+    jf["duration_s"] = f.duration.to_seconds();
+    faults.emplace_back(std::move(jf));
+  }
+  for (const auto& f : cfg.telco_crashes) {
+    check::JsonObject jf;
+    jf["kind"] = "telco_crash";
+    jf["start_s"] = f.start.to_seconds();
+    jf["duration_s"] = f.duration.to_seconds();
+    jf["telco"] = static_cast<std::uint64_t>(f.telco);
+    faults.emplace_back(std::move(jf));
+  }
+  for (const auto& f : cfg.radio_drops) {
+    check::JsonObject jf;
+    jf["kind"] = "radio_drop";
+    jf["start_s"] = f.at.to_seconds();
+    faults.emplace_back(std::move(jf));
+  }
+  for (const auto& f : cfg.wan_degrades) {
+    check::JsonObject jf;
+    jf["kind"] = "wan_degrade";
+    jf["start_s"] = f.start.to_seconds();
+    jf["duration_s"] = f.duration.to_seconds();
+    jf["loss"] = f.loss;
+    jf["corrupt"] = f.corrupt;
+    faults.emplace_back(std::move(jf));
+  }
+  check::JsonObject doc;
+  doc["format"] = "chaos-faults-v1";
+  doc["faults"] = check::JsonValue(std::move(faults));
+  return check::JsonValue(std::move(doc));
+}
+
+/// Replace cfg's schedule with the `faults` array of a dump or repro file.
+void apply_faults(ChaosConfig& cfg, const check::JsonValue& doc) {
+  const check::JsonValue& root = doc.contains("scenario") ? doc.at("scenario") : doc;
+  cfg.broker_outages.clear();
+  cfg.telco_crashes.clear();
+  cfg.radio_drops.clear();
+  cfg.wan_degrades.clear();
+  double last_end_s = 0.0;
+  for (const auto& jf : root.at("faults").as_array()) {
+    const std::string kind = jf.at("kind").as_string();
+    const TimePoint start = TimePoint::zero() + Duration::seconds(jf.at("start_s").as_double());
+    const Duration dur =
+        Duration::seconds(jf.get("duration_s", check::JsonValue(0.0)).as_double());
+    if (kind == "broker_outage") {
+      cfg.broker_outages.push_back({.start = start, .duration = dur});
+    } else if (kind == "telco_crash") {
+      cfg.telco_crashes.push_back({.telco = jf.get("telco", check::JsonValue(0)).as_uint(),
+                                   .start = start,
+                                   .duration = dur});
+    } else if (kind == "radio_drop") {
+      cfg.radio_drops.push_back({.at = start});
+    } else if (kind == "wan_degrade") {
+      cfg.wan_degrades.push_back({.start = start,
+                                  .duration = dur,
+                                  .loss = jf.get("loss", check::JsonValue(0.0)).as_double(),
+                                  .corrupt = jf.get("corrupt", check::JsonValue(0.0)).as_double()});
+    } else {
+      throw std::runtime_error("unknown fault kind '" + kind + "'");
+    }
+    last_end_s = std::max(last_end_s, (start + dur).to_seconds());
+  }
+  // Keep enough horizon past the last fault for the recovery machinery
+  // (and the availability-after-faults window) to mean something.
+  const double needed = last_end_s + 60.0;
+  if (cfg.duration.to_seconds() < needed) cfg.duration = Duration::seconds(needed);
+}
 
 ChaosConfig make_config() {
   ChaosConfig cfg;
@@ -46,14 +128,46 @@ ChaosConfig make_config() {
 
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string replay_path;
+  std::string dump_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
+    else if (std::strcmp(argv[i], "--replay") == 0 && i + 1 < argc) replay_path = argv[++i];
+    else if (std::strcmp(argv[i], "--dump-faults") == 0 && i + 1 < argc) dump_path = argv[++i];
   }
+
+  ChaosConfig cfg = make_config();
+  if (!replay_path.empty()) {
+    std::ifstream in(replay_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", replay_path.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+      apply_faults(cfg, check::json_parse(text.str()));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad fault log %s: %s\n", replay_path.c_str(), e.what());
+      return 1;
+    }
+    std::printf("replaying fault schedule from %s\n", replay_path.c_str());
+  }
+  if (!dump_path.empty()) {
+    std::ofstream out(dump_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", dump_path.c_str());
+      return 1;
+    }
+    out << faults_to_json(cfg).dump(2) << "\n";
+    std::printf("fault schedule written to %s\n", dump_path.c_str());
+  }
+
   std::printf("=== Chaos availability: scripted faults vs recovery machinery ===\n\n");
   // The two same-seed replicas are independent simulators, so they run
   // concurrently on the trial pool; the determinism check compares them.
   TrialRunner runner;
-  const auto replicas = runner.map(2, [](std::size_t) { return run_chaos(make_config()); });
+  const auto replicas = runner.map(2, [&cfg](std::size_t) { return run_chaos(cfg); });
   const ChaosResult& r1 = replicas[0];
   const ChaosResult& r2 = replicas[1];
 

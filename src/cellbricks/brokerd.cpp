@@ -208,11 +208,12 @@ void Brokerd::ingest_report(const std::string& reporter_id, Reporter type,
   // (lost ACK, eager retry timer) must not inflate the billed usage.
   const std::uint64_t seen_key =
       (static_cast<std::uint64_t>(report.period) << 1) | static_cast<std::uint64_t>(type);
-  if (!rec.seen.insert(seen_key).second) {
+  if (!rec.seen.insert(seen_key).second && !config_.test_skip_report_dedup) {
     ++reports_deduped_;
     obs::inc(obs::counter("broker.reports.deduped"));
     return;
   }
+  ++rec.accumulations;
   ++reports_ingested_;
   obs::inc(obs::counter("broker.reports.ingested"));
   obs::trace(node_.simulator().now(), obs::TraceType::ReportIngest, report.session_id,
@@ -238,6 +239,9 @@ void Brokerd::compare_if_paired(std::uint64_t session_id, std::uint32_t period) 
   SessionRecord& rec = sessions_[session_id];
   const PairVerdict verdict = reputation_.compare(ue_it->second.report, t_it->second.report);
   reputation_.record(rec.id_u, rec.id_t, verdict);
+  rec.ue_paired_bytes += ue_it->second.report.dl_bytes;
+  rec.telco_paired_bytes += t_it->second.report.dl_bytes;
+  rec.paired_threshold += verdict.threshold;
   rec.pairs_compared += 1;
   ++pairs_compared_total_;
   obs::inc(obs::counter("broker.pairs.compared"));

@@ -48,6 +48,12 @@ class Brokerd {
     Duration reply_cache_ttl = Duration::s(30);
     /// Housekeeping sweep cadence (pair timeouts + reply-cache eviction).
     Duration gc_interval = Duration::s(5);
+    /// TEST HOOK (fuzzer planted-violation harness): accumulate retransmitted
+    /// reports even when the (session, period, reporter) dedup filter has
+    /// already seen them. Re-introduces the PR-1 double-count bug on purpose
+    /// so the check layer can prove it detects, shrinks, and replays it.
+    /// Never set outside tests.
+    bool test_skip_report_dedup = false;
   };
 
   Brokerd(net::Node& node, SapBroker sap);
@@ -75,8 +81,25 @@ class Brokerd {
     // Periods already accumulated, keyed (period << 1) | reporter — the
     // dedup filter that keeps retransmitted reports from double-counting.
     std::set<std::uint64_t> seen;
+    /// Times the cumulative byte counters above were bumped. Equals
+    /// seen.size() unless a duplicate slipped past dedup — the check layer's
+    /// billing.dedup invariant.
+    std::uint64_t accumulations = 0;
+    /// Byte totals restricted to periods where BOTH reports arrived and were
+    /// compared, plus the summed Fig.5 tolerance for those pairs. On these
+    /// the conservation bound is exact: with no recorded mismatch,
+    /// |telco_paired - ue_paired| <= paired_threshold.
+    std::uint64_t ue_paired_bytes = 0;
+    std::uint64_t telco_paired_bytes = 0;
+    double paired_threshold = 0.0;
   };
   const SessionRecord* session(std::uint64_t session_id) const;
+  /// All sessions the broker has issued (check-layer iteration).
+  const std::unordered_map<std::uint64_t, SessionRecord>& sessions() const {
+    return sessions_;
+  }
+  /// Distinct SAP nonces consumed (delegates to the SAP layer).
+  std::size_t nonces_seen() const { return sap_.nonces_seen(); }
   std::uint64_t sessions_issued() const { return sessions_issued_; }
   std::uint64_t reports_received() const { return reports_received_; }
   std::uint64_t reports_rejected() const { return reports_rejected_; }

@@ -301,6 +301,25 @@ void Btelco::restart() {
   CB_LOG(Info, "btelco") << id() << ": restarted (state empty)";
 }
 
+std::vector<std::uint64_t> Btelco::session_ids() const {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(sessions_.size());
+  for (const auto& [sid, s] : sessions_) ids.push_back(sid);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::size_t Btelco::sessions_stale_since(TimePoint cutoff) const {
+  std::size_t stale = 0;
+  for (const auto& [sid, s] : sessions_) {
+    // Same freshness rule as gc_sweep: pending uplink the sweeper has not
+    // folded into last_activity yet counts as activity.
+    if (uplink_delivered_bytes(s) > s.ul_delivered_base) continue;
+    if (s.last_activity < cutoff) ++stale;
+  }
+  return stale;
+}
+
 void Btelco::ensure_gc() {
   // Lazy: runs only while sessions exist, so an idle bTelco leaves the
   // event queue empty and Simulator::run still terminates.

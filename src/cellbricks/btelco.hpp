@@ -11,6 +11,8 @@
 // architecture buys.
 #pragma once
 
+#include <vector>
+
 #include "cellbricks/billing.hpp"
 #include "cellbricks/brokerd.hpp"
 #include "cellbricks/sap.hpp"
@@ -81,6 +83,15 @@ class Btelco {
   std::uint64_t reports_abandoned() const { return reports_abandoned_; }
   std::size_t outstanding_reports() const { return outstanding_reports_.size(); }
   Duration busy_time() const { return queue_.busy_time(); }
+
+  /// Ids of currently installed sessions (check layer: every one must be
+  /// backed by a broker-issued record — no session without a signed verdict).
+  std::vector<std::uint64_t> session_ids() const;
+  /// Sessions whose last uplink activity predates `cutoff` — candidates the
+  /// inactivity GC must reclaim (check layer: none may outlive the GC
+  /// horizon). Gateway counters are consulted so a session with fresh
+  /// not-yet-swept uplink traffic is not reported stale.
+  std::size_t sessions_stale_since(TimePoint cutoff) const;
 
   /// Callback fired when a session is installed (the scenario uses it to
   /// hook the QoS cap into the bearer shaper).

@@ -150,6 +150,11 @@ class SapBroker {
   /// which are encrypted to pkB like SAP material).
   Result<Bytes> open_box(BytesView box) const { return crypto::open(keys_, box); }
 
+  /// Distinct nonces consumed by accepted auth requests. Every authorized
+  /// session burned exactly one fresh nonce, so sessions issued can never
+  /// exceed this (the check layer's nonce-uniqueness invariant).
+  std::size_t nonces_seen() const { return seen_nonces_.size(); }
+
   /// Full Fig.3 broker procedure. `authorize` is the policy hook
   /// (reputation / suspect list); `desired_qos` is the subscriber's plan.
   Result<BrokerDecision> process_auth_req(

@@ -1,0 +1,57 @@
+#include "check/invariant.hpp"
+
+#include <sstream>
+
+namespace cb::check {
+
+void InvariantEngine::Reporter::fail(std::string detail) {
+  engine_.record(name_, at_, std::move(detail));
+}
+
+void InvariantEngine::add(std::string name, When when, CheckFn fn) {
+  checkers_.push_back(Checker{std::move(name), when, std::move(fn)});
+}
+
+void InvariantEngine::arm(sim::Simulator& sim, Duration cadence, TimePoint until) {
+  if (cadence <= Duration::zero()) throw std::invalid_argument("arm: non-positive cadence");
+  // All ticks are scheduled up front (no re-scheduling from inside an event):
+  // the engine contributes a fixed, run-independent set of sequence numbers,
+  // so application events keep the same relative order they have without it.
+  for (TimePoint t = sim.now() + cadence; t <= until; t += cadence) {
+    ticks_.push_back(sim.schedule_at(t, [this, &sim] { run_periodic(sim.now()); }));
+  }
+}
+
+void InvariantEngine::run_periodic(TimePoint now) {
+  for (const auto& c : checkers_) {
+    if (c.when != When::Periodic) continue;
+    ++checks_run_;
+    Reporter r(*this, c.name, now);
+    c.fn(r);
+  }
+}
+
+void InvariantEngine::finalize(TimePoint now) {
+  for (auto& tick : ticks_) tick.cancel();
+  ticks_.clear();
+  for (const auto& c : checkers_) {
+    ++checks_run_;
+    Reporter r(*this, c.name, now);
+    c.fn(r);
+  }
+}
+
+void InvariantEngine::record(const std::string& name, TimePoint at, std::string detail) {
+  if (violations_.size() >= kMaxViolations) return;
+  violations_.push_back(Violation{name, at, std::move(detail)});
+}
+
+std::string InvariantEngine::summary() const {
+  std::ostringstream out;
+  for (const auto& v : violations_) {
+    out << v.invariant << "@" << v.at.to_seconds() << "s: " << v.detail << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace cb::check

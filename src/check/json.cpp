@@ -1,0 +1,298 @@
+#include "check/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cb::check {
+
+namespace {
+
+const JsonValue kNull{};
+
+[[noreturn]] void fail_at(std::size_t pos, const std::string& what) {
+  throw std::runtime_error("json: " + what + " at offset " + std::to_string(pos));
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail_at(pos_, "trailing garbage");
+    return v;
+  }
+
+ private:
+  char peek() {
+    if (pos_ >= text_.size()) fail_at(pos_, "unexpected end of input");
+    return text_[pos_];
+  }
+  char take() {
+    char c = peek();
+    ++pos_;
+    return c;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  void expect_lit(const char* lit) {
+    for (const char* p = lit; *p; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) fail_at(pos_, "bad literal");
+      ++pos_;
+    }
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue(parse_string());
+      case 't': expect_lit("true"); return JsonValue(true);
+      case 'f': expect_lit("false"); return JsonValue(false);
+      case 'n': expect_lit("null"); return JsonValue();
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    take();  // '{'
+    JsonObject obj;
+    skip_ws();
+    if (peek() == '}') {
+      take();
+      return JsonValue(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      if (take() != ':') fail_at(pos_ - 1, "expected ':'");
+      obj[std::move(key)] = parse_value();
+      skip_ws();
+      const char c = take();
+      if (c == '}') break;
+      if (c != ',') fail_at(pos_ - 1, "expected ',' or '}'");
+    }
+    return JsonValue(std::move(obj));
+  }
+
+  JsonValue parse_array() {
+    take();  // '['
+    JsonArray arr;
+    skip_ws();
+    if (peek() == ']') {
+      take();
+      return JsonValue(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == ']') break;
+      if (c != ',') fail_at(pos_ - 1, "expected ',' or ']'");
+    }
+    return JsonValue(std::move(arr));
+  }
+
+  std::string parse_string() {
+    if (take() != '"') fail_at(pos_ - 1, "expected string");
+    std::string out;
+    while (true) {
+      char c = take();
+      if (c == '"') break;
+      if (c == '\\') {
+        char e = take();
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail_at(pos_, "truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = take();
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else fail_at(pos_ - 1, "bad hex digit");
+            }
+            // UTF-8 encode the BMP code point (no surrogate pairing: the
+            // repro files only carry ASCII identifiers).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: fail_at(pos_ - 1, "bad escape");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        fail_at(pos_ - 1, "unescaped control character");
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') take();
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail_at(start, "expected value");
+    const std::string tok = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) fail_at(start, "bad number");
+    return JsonValue(v);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+void dump_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_number(std::string& out, double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+    // Integral values print as integers: seeds and byte counts must
+    // round-trip exactly and read cleanly.
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    out += buf;
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+  }
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth), ' ');
+}
+
+}  // namespace
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const auto& obj = as_object();
+  auto it = obj.find(key);
+  if (it == obj.end()) throw std::runtime_error("json: missing key '" + key + "'");
+  return it->second;
+}
+
+const JsonValue& JsonValue::get(const std::string& key, const JsonValue& fallback) const {
+  const auto& obj = as_object();
+  auto it = obj.find(key);
+  return it == obj.end() ? fallback : it->second;
+}
+
+bool JsonValue::contains(const std::string& key) const {
+  return type_ == Type::Object && obj_.contains(key);
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  if (indent > 0) out += '\n';
+  return out;
+}
+
+void JsonValue::dump_to(std::string& out, int indent, int depth) const {
+  switch (type_) {
+    case Type::Null: out += "null"; break;
+    case Type::Bool: out += bool_ ? "true" : "false"; break;
+    case Type::Number: dump_number(out, num_); break;
+    case Type::String: dump_string(out, str_); break;
+    case Type::Array: {
+      if (arr_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      bool first = true;
+      for (const auto& v : arr_) {
+        if (!first) out += ',';
+        first = false;
+        newline_indent(out, indent, depth + 1);
+        v.dump_to(out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case Type::Object: {
+      if (obj_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) out += ',';
+        first = false;
+        newline_indent(out, indent, depth + 1);
+        dump_string(out, k);
+        out += indent > 0 ? ": " : ":";
+        v.dump_to(out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+JsonValue json_parse(const std::string& text) { return Parser(text).parse_document(); }
+
+}  // namespace cb::check

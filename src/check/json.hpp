@@ -1,0 +1,75 @@
+// Minimal JSON value model + parser/serializer for the checker's repro
+// files and the bench fault-log replay path. Deliberately small: objects,
+// arrays, strings, numbers, booleans, null — no comments, no surrogate-pair
+// escapes beyond \uXXXX pass-through, doubles printed with enough digits to
+// round-trip. Not a general-purpose library; the obs layer keeps its own
+// streaming serializer for snapshots.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace cb::check {
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+/// std::map keeps object keys sorted so serialization is byte-deterministic.
+using JsonObject = std::map<std::string, JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() : type_(Type::Null) {}
+  JsonValue(bool b) : type_(Type::Bool), bool_(b) {}
+  JsonValue(double n) : type_(Type::Number), num_(n) {}
+  JsonValue(int n) : type_(Type::Number), num_(n) {}
+  JsonValue(std::int64_t n) : type_(Type::Number), num_(static_cast<double>(n)) {}
+  JsonValue(std::uint64_t n) : type_(Type::Number), num_(static_cast<double>(n)) {}
+  JsonValue(const char* s) : type_(Type::String), str_(s) {}
+  JsonValue(std::string s) : type_(Type::String), str_(std::move(s)) {}
+  JsonValue(JsonArray a) : type_(Type::Array), arr_(std::move(a)) {}
+  JsonValue(JsonObject o) : type_(Type::Object), obj_(std::move(o)) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+
+  bool as_bool() const { expect(Type::Bool); return bool_; }
+  double as_double() const { expect(Type::Number); return num_; }
+  std::int64_t as_int() const { expect(Type::Number); return static_cast<std::int64_t>(num_); }
+  std::uint64_t as_uint() const { expect(Type::Number); return static_cast<std::uint64_t>(num_); }
+  const std::string& as_string() const { expect(Type::String); return str_; }
+  const JsonArray& as_array() const { expect(Type::Array); return arr_; }
+  const JsonObject& as_object() const { expect(Type::Object); return obj_; }
+
+  /// Object member access; throws on missing key or non-object.
+  const JsonValue& at(const std::string& key) const;
+  /// Object member or fallback when the key is absent.
+  const JsonValue& get(const std::string& key, const JsonValue& fallback) const;
+  bool contains(const std::string& key) const;
+
+  std::string dump(int indent = 0) const;
+
+ private:
+  void expect(Type t) const {
+    if (type_ != t) throw std::runtime_error("json: wrong type access");
+  }
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  JsonArray arr_;
+  JsonObject obj_;
+};
+
+/// Parse a complete JSON document; throws std::runtime_error with a byte
+/// offset on malformed input (trailing garbage included).
+JsonValue json_parse(const std::string& text);
+
+}  // namespace cb::check

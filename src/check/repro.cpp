@@ -1,0 +1,120 @@
+#include "check/repro.hpp"
+
+#include <stdexcept>
+
+namespace cb::check {
+
+namespace {
+
+const char* fault_kind_name(scenario::FuzzFault::Kind kind) {
+  switch (kind) {
+    case scenario::FuzzFault::Kind::BrokerOutage: return "broker_outage";
+    case scenario::FuzzFault::Kind::TelcoCrash: return "telco_crash";
+    case scenario::FuzzFault::Kind::RadioDrop: return "radio_drop";
+    case scenario::FuzzFault::Kind::WanDegrade: return "wan_degrade";
+  }
+  return "unknown";
+}
+
+scenario::FuzzFault::Kind fault_kind_from(const std::string& name) {
+  if (name == "broker_outage") return scenario::FuzzFault::Kind::BrokerOutage;
+  if (name == "telco_crash") return scenario::FuzzFault::Kind::TelcoCrash;
+  if (name == "radio_drop") return scenario::FuzzFault::Kind::RadioDrop;
+  if (name == "wan_degrade") return scenario::FuzzFault::Kind::WanDegrade;
+  throw std::runtime_error("repro: unknown fault kind '" + name + "'");
+}
+
+}  // namespace
+
+JsonValue scenario_to_json(const scenario::FuzzScenario& s) {
+  JsonArray faults;
+  for (const auto& f : s.faults) {
+    JsonObject jf;
+    jf["kind"] = fault_kind_name(f.kind);
+    jf["start_s"] = f.start_s;
+    if (f.kind != scenario::FuzzFault::Kind::RadioDrop) jf["duration_s"] = f.duration_s;
+    if (f.kind == scenario::FuzzFault::Kind::TelcoCrash) jf["telco"] = f.telco;
+    if (f.kind == scenario::FuzzFault::Kind::WanDegrade) {
+      jf["loss"] = f.loss;
+      jf["corrupt"] = f.corrupt;
+    }
+    faults.emplace_back(std::move(jf));
+  }
+  JsonObject o;
+  o["seed"] = s.seed;
+  o["n_towers"] = s.n_towers;
+  o["night"] = s.night;
+  o["speed_mps"] = s.speed_mps;
+  o["tower_spacing_m"] = s.tower_spacing_m;
+  o["duration_s"] = s.duration_s;
+  o["radio_loss"] = s.radio_loss;
+  o["unlimited_policy"] = s.unlimited_policy;
+  o["report_interval_s"] = s.report_interval_s;
+  o["telco0_overreport"] = s.telco0_overreport;
+  o["ue_underreport"] = s.ue_underreport;
+  o["app"] = s.app;
+  o["faults"] = std::move(faults);
+  if (s.plant_dedup_bug) o["plant_dedup_bug"] = true;
+  return JsonValue(std::move(o));
+}
+
+scenario::FuzzScenario scenario_from_json(const JsonValue& v) {
+  scenario::FuzzScenario s;
+  s.seed = v.at("seed").as_uint();
+  s.n_towers = static_cast<int>(v.at("n_towers").as_int());
+  s.night = v.at("night").as_bool();
+  s.speed_mps = v.at("speed_mps").as_double();
+  s.tower_spacing_m = v.at("tower_spacing_m").as_double();
+  s.duration_s = v.at("duration_s").as_double();
+  s.radio_loss = v.get("radio_loss", JsonValue(0.0)).as_double();
+  s.unlimited_policy = v.get("unlimited_policy", JsonValue(false)).as_bool();
+  s.report_interval_s = v.get("report_interval_s", JsonValue(10.0)).as_double();
+  s.telco0_overreport = v.get("telco0_overreport", JsonValue(1.0)).as_double();
+  s.ue_underreport = v.get("ue_underreport", JsonValue(1.0)).as_double();
+  s.app = static_cast<int>(v.get("app", JsonValue(0)).as_int());
+  s.plant_dedup_bug = v.get("plant_dedup_bug", JsonValue(false)).as_bool();
+  if (s.n_towers < 1) throw std::runtime_error("repro: n_towers must be >= 1");
+  s.faults.clear();
+  for (const auto& jf : v.get("faults", JsonValue(JsonArray{})).as_array()) {
+    scenario::FuzzFault f;
+    f.kind = fault_kind_from(jf.at("kind").as_string());
+    f.start_s = jf.at("start_s").as_double();
+    f.duration_s = jf.get("duration_s", JsonValue(0.0)).as_double();
+    f.telco = jf.get("telco", JsonValue(0)).as_uint();
+    f.loss = jf.get("loss", JsonValue(0.0)).as_double();
+    f.corrupt = jf.get("corrupt", JsonValue(0.0)).as_double();
+    s.faults.push_back(f);
+  }
+  return s;
+}
+
+std::string write_repro(const ShrinkResult& result, const RunOptions& run_options,
+                        const std::string& replay_path) {
+  JsonObject violation;
+  violation["invariant"] = result.witness.invariant;
+  violation["at_s"] = result.witness.at.to_seconds();
+  violation["detail"] = result.witness.detail;
+
+  JsonObject shrinking;
+  shrinking["candidates_tried"] = result.candidates_tried;
+  shrinking["candidates_accepted"] = result.candidates_accepted;
+
+  JsonObject doc;
+  doc["format"] = "cbfuzz-repro-v1";
+  doc["violation"] = JsonValue(std::move(violation));
+  doc["scenario"] = scenario_to_json(result.minimal);
+  doc["check_cadence_s"] = run_options.check_cadence.to_seconds();
+  doc["shrinking"] = JsonValue(std::move(shrinking));
+  doc["replay"] = replay_command(replay_path);
+  return JsonValue(std::move(doc)).dump(2);
+}
+
+scenario::FuzzScenario load_repro(const std::string& text) {
+  const JsonValue doc = json_parse(text);
+  if (doc.contains("scenario")) return scenario_from_json(doc.at("scenario"));
+  return scenario_from_json(doc);
+}
+
+std::string replay_command(const std::string& path) { return "cbfuzz --replay " + path; }
+
+}  // namespace cb::check

@@ -1,0 +1,33 @@
+// Self-contained repro files for fuzzer-found invariant violations.
+//
+// A repro document carries the (shrunk) FuzzScenario, the violated
+// invariant with its evidence string, and the exact CLI line that replays
+// it — everything a developer needs to reproduce the failure with zero
+// extra context. scenario_from_json accepts both a full repro document and
+// a bare scenario object, so hand-edited scenarios replay too.
+#pragma once
+
+#include <string>
+
+#include "check/json.hpp"
+#include "check/shrink.hpp"
+#include "scenario/fuzz.hpp"
+
+namespace cb::check {
+
+JsonValue scenario_to_json(const scenario::FuzzScenario& s);
+scenario::FuzzScenario scenario_from_json(const JsonValue& v);
+
+/// Full repro document (pretty-printed JSON) for a shrunk failure.
+/// `replay_path` is the file name the caller will write it to (embedded in
+/// the replay command line).
+std::string write_repro(const ShrinkResult& result, const RunOptions& run_options,
+                        const std::string& replay_path);
+
+/// Parse a repro document or bare scenario from JSON text.
+scenario::FuzzScenario load_repro(const std::string& text);
+
+/// The exact command that replays a repro file.
+std::string replay_command(const std::string& path);
+
+}  // namespace cb::check

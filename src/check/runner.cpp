@@ -1,0 +1,160 @@
+#include "check/runner.hpp"
+
+#include <memory>
+
+#include "apps/iperf.hpp"
+#include "apps/ping.hpp"
+#include "check/world_invariants.hpp"
+#include "scenario/world.hpp"
+#include "sim/fault.hpp"
+
+namespace cb::check {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= kFnvPrime;
+  }
+}
+
+scenario::WorldConfig world_config(const scenario::FuzzScenario& s) {
+  scenario::WorldConfig w;
+  w.arch = scenario::Architecture::CellBricks;
+  w.route = scenario::RouteSpec{"Fuzz", s.night, s.speed_mps, s.tower_spacing_m,
+                                s.night ? ran::RatePolicy::night() : ran::RatePolicy::day()};
+  w.seed = s.seed;
+  w.n_towers = s.n_towers;
+  w.radio_loss = s.radio_loss;
+  w.unlimited_policy = s.unlimited_policy;
+  w.report_interval = Duration::seconds(s.report_interval_s);
+  w.telco0_overreport = s.telco0_overreport;
+  w.ue_underreport = s.ue_underreport;
+  w.broker_config.test_skip_report_dedup = s.plant_dedup_bug;
+  return w;
+}
+
+sim::FaultPlan bind_faults(const scenario::FuzzScenario& s, scenario::World& world) {
+  sim::FaultPlan plan;
+  for (const auto& f : s.faults) {
+    const TimePoint start = TimePoint::zero() + Duration::seconds(f.start_s);
+    const Duration dur = Duration::seconds(f.duration_s);
+    switch (f.kind) {
+      case scenario::FuzzFault::Kind::BrokerOutage:
+        plan.window(
+            "broker-outage", start, dur,
+            [&world] { world.cloud_node()->set_up(false); },
+            [&world] { world.cloud_node()->set_up(true); });
+        break;
+      case scenario::FuzzFault::Kind::TelcoCrash: {
+        // Clamp: the sampler draws the index before shrinking drops towers.
+        const std::size_t i = f.telco < world.n_btelcos() ? f.telco : world.n_btelcos() - 1;
+        plan.window(
+            "crash:btelco-" + std::to_string(i), start, dur,
+            [&world, i] { world.btelco(i)->crash(); },
+            [&world, i] { world.btelco(i)->restart(); });
+        break;
+      }
+      case scenario::FuzzFault::Kind::RadioDrop:
+        plan.at("radio-drop", start, [&world] {
+          const ran::CellId cell = world.ue_agent()->serving_cell();
+          if (cell != 0) world.ran_map().site(cell).radio_link->set_up(false);
+        });
+        break;
+      case scenario::FuzzFault::Kind::WanDegrade: {
+        auto apply = [&world](double loss, double corrupt) {
+          for (std::size_t i = 0; i < world.n_cloud_links(); ++i) {
+            net::Link* link = world.cloud_link(i);
+            for (net::Node* end : {link->endpoint_a(), link->endpoint_b()}) {
+              net::LinkParams p = link->params(end);
+              p.loss = loss;
+              p.corrupt = corrupt;
+              link->set_params(end, p);
+            }
+          }
+        };
+        plan.window(
+            "wan-degrade", start, dur,
+            [apply, loss = f.loss, corrupt = f.corrupt] { apply(loss, corrupt); },
+            [apply] { apply(0.0, 0.0); });
+        break;
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace
+
+std::uint64_t RunReport::fingerprint() const {
+  std::uint64_t h = kFnvOffset;
+  fnv_mix(h, events_executed);
+  fnv_mix(h, sessions_issued);
+  fnv_mix(h, reports_ingested);
+  fnv_mix(h, pairs_compared);
+  fnv_mix(h, fault_log_entries);
+  fnv_mix(h, ue_attached_at_end ? 1 : 0);
+  fnv_mix(h, static_cast<std::uint64_t>(violations.size()));
+  return h;
+}
+
+RunReport run_scenario(const scenario::FuzzScenario& s, const RunOptions& options) {
+  scenario::World world(world_config(s));
+  sim::Simulator& sim = world.simulator();
+
+  sim::EngineProbe probe;
+  sim.set_probe(&probe);
+
+  InvariantEngine engine;
+  install_world_invariants(engine, world, &probe);
+
+  const TimePoint horizon = TimePoint::zero() + Duration::seconds(s.duration_s);
+  engine.arm(sim, options.check_cadence, horizon);
+
+  sim::ChaosController chaos(sim, bind_faults(s, world));
+  chaos.arm();
+
+  // App mix. Servers must exist before the client's SYN; the download client
+  // connects after start() so its subflow rides the first attach.
+  std::unique_ptr<apps::IperfPushServer> dl_server;
+  std::unique_ptr<apps::IperfDownloadClient> dl_client;
+  std::unique_ptr<apps::PingServer> ping_server;
+  std::unique_ptr<apps::PingClient> ping_client;
+  const bool want_download = s.app == 1 || s.app == 3;
+  const bool want_ping = s.app == 2 || s.app == 3;
+  if (want_download) {
+    dl_server = std::make_unique<apps::IperfPushServer>(world.server_transport(), 5001, sim,
+                                                        Duration::seconds(s.duration_s));
+  }
+  if (want_ping) {
+    ping_server = std::make_unique<apps::PingServer>(*world.server_node(), 7);
+    ping_client =
+        std::make_unique<apps::PingClient>(*world.ue_node(), net::EndPoint{world.server_addr(), 7});
+  }
+  world.start();
+  if (want_download) {
+    dl_client = std::make_unique<apps::IperfDownloadClient>(
+        world.ue_transport(), net::EndPoint{world.server_addr(), 5001}, sim);
+  }
+
+  sim.run_until(horizon);
+  engine.finalize(sim.now());
+  sim.set_probe(nullptr);
+
+  RunReport report;
+  report.violations = engine.violations();
+  report.checks_run = engine.checks_run();
+  report.events_executed = sim.events_executed();
+  report.sessions_issued = world.brokerd()->sessions_issued();
+  report.reports_ingested = world.brokerd()->reports_ingested();
+  report.pairs_compared = world.brokerd()->pairs_compared_total();
+  report.fault_log_entries = chaos.log().size();
+  report.ue_attached_at_end = world.ue_agent()->attached();
+  return report;
+}
+
+}  // namespace cb::check

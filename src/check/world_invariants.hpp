@@ -1,0 +1,37 @@
+// The standard cross-layer invariant catalogue for scenario::World runs.
+//
+// Each checker is a read-only predicate over live world state, registered on
+// an InvariantEngine (see invariant.hpp for the determinism contract). The
+// catalogue covers every layer the paper's correctness argument leans on:
+//
+//   engine.health         no event pops in the past, heap pops monotone
+//   session.single_bearer the UE holds at most one live radio bearer
+//   session.gc_horizon    no inactive session outlives the GC horizon
+//   sap.session_backed    every installed bTelco session is backed by a
+//                         broker-issued record (i.e. a signed verdict)
+//   sap.nonce_unique      distinct nonces >= sessions issued, both monotone
+//   billing.dedup         retransmitted reports never double-accumulate
+//   billing.conservation  paired UE/bTelco byte totals agree within the
+//                         summed Fig.5 tolerance when no mismatch was flagged
+//   reputation.honest     honest parties keep score 1.0; scores only drop
+//                         when a mismatch or missing report is recorded
+//   transport.sanity      MPTCP impossible-state counters stay zero
+//
+// Conditional invariants gate themselves on the world's own config (e.g. the
+// reputation checks relax when dishonesty knobs are set), so the same
+// catalogue is valid for every point the fuzzer samples.
+#pragma once
+
+#include "check/invariant.hpp"
+#include "scenario/world.hpp"
+
+namespace cb::check {
+
+/// Register the full catalogue against `world`. If `probe` is non-null it
+/// must be the one installed on the world's simulator (engine.health reads
+/// it). Checkers hold raw pointers into the world: the world must outlive
+/// the engine's last check.
+void install_world_invariants(InvariantEngine& engine, scenario::World& world,
+                              const sim::EngineProbe* probe);
+
+}  // namespace cb::check

@@ -28,6 +28,11 @@ class RanMap {
   }
   bool contains(CellId cell) const { return sites_.contains(cell); }
 
+  /// All sites (check layer: counting up radio bearers must not depend on
+  /// knowing cell ids in advance). Iteration order is unspecified — derive
+  /// only order-independent facts (counts, sums) from it.
+  const std::unordered_map<CellId, TowerSite>& sites() const { return sites_; }
+
  private:
   std::unordered_map<CellId, TowerSite> sites_;
 };

@@ -1,0 +1,58 @@
+#include "scenario/fuzz.hpp"
+
+#include <algorithm>
+
+namespace cb::scenario {
+
+FuzzScenario random_scenario(std::uint64_t seed) {
+  // The tag keeps the generator stream independent of the world's own
+  // Rng(seed) streams, so sampling a scenario never correlates with the
+  // randomness inside the run it describes.
+  Rng rng = Rng(seed).fork(0xF022);
+
+  FuzzScenario s;
+  s.seed = seed;
+  s.n_towers = 1 + static_cast<int>(rng.next_below(8));
+  s.night = rng.chance(0.5);
+  // Geometry: spacing and a target mean-time-to-handover pick the speed,
+  // spanning the paper's Table 1 envelope (25..90 s MTTHO).
+  s.tower_spacing_m = rng.uniform(400.0, 1500.0);
+  s.speed_mps = s.tower_spacing_m / rng.uniform(25.0, 90.0);
+  s.duration_s = rng.uniform(60.0, 240.0);
+  s.radio_loss = rng.chance(0.3) ? rng.uniform(0.0, 0.03) : 0.0;
+  s.unlimited_policy = rng.chance(0.25);
+  const double intervals[] = {5.0, 10.0, 20.0};
+  s.report_interval_s = intervals[rng.next_below(3)];
+  // Mostly honest worlds; occasionally a dishonest party so the reputation
+  // invariants exercise their gated branches too.
+  if (rng.chance(0.15)) s.telco0_overreport = rng.uniform(1.1, 1.8);
+  if (rng.chance(0.15)) s.ue_underreport = rng.uniform(0.5, 0.9);
+  s.app = static_cast<int>(rng.next_below(4));
+
+  const std::size_t n_faults = rng.next_below(6);  // 0..5
+  for (std::size_t i = 0; i < n_faults; ++i) {
+    FuzzFault f;
+    f.kind = static_cast<FuzzFault::Kind>(rng.next_below(4));
+    f.start_s = rng.uniform(5.0, std::max(6.0, s.duration_s - 10.0));
+    f.duration_s = rng.uniform(2.0, 30.0);
+    switch (f.kind) {
+      case FuzzFault::Kind::TelcoCrash:
+        f.telco = rng.next_below(static_cast<std::uint64_t>(s.n_towers));
+        break;
+      case FuzzFault::Kind::WanDegrade:
+        f.loss = rng.uniform(0.05, 0.6);
+        f.corrupt = rng.chance(0.3) ? rng.uniform(0.0, 0.05) : 0.0;
+        break;
+      default:
+        break;
+    }
+    s.faults.push_back(f);
+  }
+  // Sorted by start time so the schedule reads chronologically and shrinking
+  // (which drops list prefixes/suffixes) removes contiguous time ranges.
+  std::stable_sort(s.faults.begin(), s.faults.end(),
+                   [](const FuzzFault& a, const FuzzFault& b) { return a.start_s < b.start_s; });
+  return s;
+}
+
+}  // namespace cb::scenario

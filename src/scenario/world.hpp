@@ -109,6 +109,9 @@ class World {
   epc::Mme* mme() { return mme_.get(); }
   epc::UeNas* ue_nas() { return ue_nas_.get(); }
   epc::Hss* hss() { return hss_.get(); }
+  /// Transport internals (check layer reads the MPTCP sanity counters).
+  transport::MptcpStack* ue_mptcp() { return ue_mptcp_.get(); }
+  transport::MptcpStack* server_mptcp() { return server_mptcp_.get(); }
 
  private:
   void build_topology();

@@ -84,6 +84,23 @@ class EventHandle {
   std::uint64_t gen_ = 0;
 };
 
+/// Engine-health observation point for the invariant checker (src/check).
+/// A Simulator carries an optional probe pointer; when none is installed the
+/// per-event cost is one predictable null-check branch (the same contract as
+/// the obs layer's handles), and CB_CHECK_COMPILED_OUT removes even that.
+/// The probe only *counts* — it never mutates engine state — so installing
+/// one cannot perturb event order or the chaos golden fingerprints.
+struct EngineProbe {
+  /// Events executed while the probe was installed.
+  std::uint64_t executed = 0;
+  /// Events that popped with a timestamp below the clock at pop time (the
+  /// heap or the scheduling guard is broken if this ever moves).
+  std::uint64_t past_events = 0;
+  /// Pops whose timestamp was below the previous pop's (heap monotonicity).
+  std::uint64_t order_regressions = 0;
+  TimePoint last_pop;
+};
+
 /// The event engine. Not thread-safe; a whole experiment runs on one engine.
 /// Independent engines on different threads are fine (the logger's time
 /// source is thread-local), which is what the parallel trial-runner uses.
@@ -129,6 +146,18 @@ class Simulator {
   /// Number of events executed so far (for tests/debug).
   std::uint64_t events_executed() const { return executed_; }
 
+  /// Install (or remove, with nullptr) the engine-health probe. The caller
+  /// keeps ownership; the probe must outlive the simulator or be removed
+  /// first. No-op under CB_CHECK_COMPILED_OUT.
+  void set_probe(EngineProbe* probe) {
+#ifndef CB_CHECK_COMPILED_OUT
+    probe_ = probe;
+    if (probe_) probe_->last_pop = now_;
+#else
+    (void)probe;
+#endif
+  }
+
  private:
   struct Event {
     TimePoint at;
@@ -153,6 +182,9 @@ class Simulator {
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::shared_ptr<detail::EventPool> pool_;
   Rng rng_;
+#ifndef CB_CHECK_COMPILED_OUT
+  EngineProbe* probe_ = nullptr;
+#endif
 };
 
 }  // namespace cb::sim

@@ -170,6 +170,7 @@ void MptcpSocket::attach_subflow_callbacks(std::size_t index) {
 }
 
 void MptcpSocket::on_subflow_data(std::size_t index, BytesView data) {
+  if (subflows_[index].dead) ++stack_.sanity_.data_on_dead_subflow;
   subflows_[index].rx.append(data);
   parse_records(index);
 }
@@ -241,6 +242,7 @@ void MptcpSocket::parse_records(std::size_t index) {
 
 void MptcpSocket::handle_data_record(std::uint64_t dseq, Bytes payload) {
   const std::uint64_t end = dseq + payload.size();
+  if (peer_fin_ && end > peer_fin_dseq_) ++stack_.sanity_.data_past_fin;
   if (end <= rcv_dseq_) {
     send_dack();  // duplicate from a go-back retransmission
     return;
@@ -315,6 +317,11 @@ void MptcpSocket::dack_refresh_tick() {
 }
 
 void MptcpSocket::handle_dack(std::uint64_t dack) {
+  // Conservation: a cumulative DACK can never pass the high-water mark of
+  // sequence space ever put on a subflow (dseq_nxt_ itself rolls back on
+  // go-back retransmission, so it is not the right bound — a DACK for data
+  // delivered on a now-dead path may arrive after the rollback).
+  if (dack > dseq_high_) ++stack_.sanity_.ack_beyond_sent;
   if (dack <= dseq_una_) return;
   const std::uint64_t advance = dack - dseq_una_;
   const std::size_t popped = std::min<std::size_t>(advance, send_buffer_.size());
@@ -377,6 +384,7 @@ void MptcpSocket::try_send() {
       w.raw(send_buffer_.peek(unsent_off, len));
       sf->tcp->send(w.data());
       dseq_nxt_ += len;
+      if (dseq_nxt_ > dseq_high_) dseq_high_ = dseq_nxt_;
       continue;
     }
     if (fin_pending_ && !fin_sent_) {
@@ -385,6 +393,7 @@ void MptcpSocket::try_send() {
       sf->tcp->send(make_dfin(fin_dseq_));
       fin_sent_ = true;
       fin_pending_ = false;
+      if (fin_dseq_ + 1 > dseq_high_) dseq_high_ = fin_dseq_ + 1;
     }
     return;
   }

@@ -113,6 +113,8 @@ class MptcpSocket final : public StreamSocket,
   ByteQueue send_buffer_;       // bytes [dseq_una_, dseq_una_+size)
   std::uint64_t dseq_una_ = 0;  // lowest unacked data sequence
   std::uint64_t dseq_nxt_ = 0;  // next data sequence to put on a subflow
+  std::uint64_t dseq_high_ = 0;  // highest sequence ever sent (+1 for FIN);
+                                 // never rolls back — bounds valid DACKs
   bool fin_pending_ = false;
   bool fin_sent_ = false;
   bool fin_acked_ = false;
@@ -137,6 +139,24 @@ class MptcpSocket final : public StreamSocket,
 /// change notifications) to every connection's path manager.
 class MptcpStack {
  public:
+  /// Should-be-impossible protocol states, counted instead of asserted so
+  /// the check layer can turn them into invariant violations in any build.
+  /// All counters stay 0 on a correct stack; there is no legitimate path
+  /// that increments them.
+  struct SanityCounters {
+    /// Payload bytes surfaced by a subflow already marked dead.
+    std::uint64_t data_on_dead_subflow = 0;
+    /// DATA records carrying bytes past the peer's announced DATA_FIN.
+    std::uint64_t data_past_fin = 0;
+    /// Cumulative DATA_ACKs acknowledging sequence space never sent
+    /// (connection-level sequence-space conservation).
+    std::uint64_t ack_beyond_sent = 0;
+
+    std::uint64_t total() const {
+      return data_on_dead_subflow + data_past_fin + ack_beyond_sent;
+    }
+  };
+
   MptcpStack(net::Node& node, TcpStack& tcp, MptcpConfig config = {});
   ~MptcpStack();
 
@@ -161,6 +181,7 @@ class MptcpStack {
   TcpStack& tcp() { return tcp_; }
   sim::Simulator& simulator() { return node_.simulator(); }
   const MptcpConfig& config() const { return config_; }
+  const SanityCounters& sanity() const { return sanity_; }
 
  private:
   friend class MptcpSocket;
@@ -185,6 +206,7 @@ class MptcpStack {
   TcpStack& tcp_;
   MptcpConfig config_;
   Rng rng_;
+  SanityCounters sanity_;
   std::unordered_map<std::uint64_t, std::weak_ptr<MptcpSocket>> by_token_;
   std::unordered_map<std::uint16_t, AcceptCallback> listeners_;
 };

@@ -10,6 +10,7 @@
 #include "crypto/hmac.hpp"
 #include "crypto/rsa.hpp"
 #include "crypto/sha256.hpp"
+#include "test_seed.hpp"
 
 namespace cb::crypto {
 namespace {
@@ -91,7 +92,9 @@ TEST(BigNumExtra, LeadingZeroBytesIgnoredOnImport) {
 }
 
 TEST(BigNumExtra, DivModBySelfAndOne) {
-  Rng rng(3);
+  const std::uint64_t seed = cb::test::seed_or(3);
+  SCOPED_TRACE(::testing::Message() << "replay with CB_TEST_SEED=" << seed);
+  Rng rng(seed);
   const BigNum a = BigNum::from_bytes_be(rng.random_bytes(24));
   auto [q1, r1] = a.divmod(a);
   EXPECT_TRUE(q1 == BigNum{1});
@@ -109,7 +112,9 @@ TEST(BigNumExtra, PowmodEdges) {
 }
 
 TEST(BigNumExtra, ModU32MatchesDivMod) {
-  Rng rng(17);
+  const std::uint64_t seed = cb::test::seed_or(17);
+  SCOPED_TRACE(::testing::Message() << "replay with CB_TEST_SEED=" << seed);
+  Rng rng(seed);
   for (int i = 0; i < 50; ++i) {
     const BigNum a = BigNum::from_bytes_be(rng.random_bytes(1 + rng.next_below(30)));
     const std::uint32_t m = 2 + static_cast<std::uint32_t>(rng.next_below(1u << 30));
@@ -183,7 +188,9 @@ TEST(BoxExtra, OpenGarbage) {
 class BoxPayloadSweep : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(BoxPayloadSweep, RoundTripAnySize) {
-  Rng rng(100 + GetParam());
+  const std::uint64_t seed = cb::test::seed_or(100) + GetParam();
+  SCOPED_TRACE(::testing::Message() << "replay with CB_TEST_SEED=" << (seed - GetParam()));
+  Rng rng(seed);
   static const RsaKeyPair keys = [] {
     Rng kr(55);
     return RsaKeyPair::generate(kr, 512);
@@ -201,7 +208,9 @@ TEST(MontgomeryDiff, MatchesReferencePowmodOnRandomOddModuli) {
   // Differential test: the Montgomery/CIOS fast path must agree with the
   // reference square-and-multiply for random bases/exponents/odd moduli of
   // assorted widths (including non-limb-aligned ones).
-  Rng rng(0xD1FF);
+  const std::uint64_t seed = cb::test::seed_or(0xD1FF);
+  SCOPED_TRACE(::testing::Message() << "replay with CB_TEST_SEED=" << seed);
+  Rng rng(seed);
   for (std::size_t bits : {2u, 17u, 33u, 64u, 65u, 127u, 256u, 511u, 1024u}) {
     for (int trial = 0; trial < 4; ++trial) {
       const BigNum m = BigNum::random_odd(rng, bits);
@@ -214,7 +223,9 @@ TEST(MontgomeryDiff, MatchesReferencePowmodOnRandomOddModuli) {
 }
 
 TEST(MontgomeryDiff, EdgeOperands) {
-  Rng rng(77);
+  const std::uint64_t seed = cb::test::seed_or(77);
+  SCOPED_TRACE(::testing::Message() << "replay with CB_TEST_SEED=" << seed);
+  Rng rng(seed);
   const BigNum m = BigNum::random_odd(rng, 128);
   const BigNum zero{};
   const BigNum one{1};
@@ -237,7 +248,9 @@ TEST(MontgomeryDiff, CrtSignMatchesPlainExponentiationAcrossSizes) {
   // CRT + Montgomery private op must round-trip against the public op for
   // edge modulus sizes (including odd bit counts), and signatures must
   // verify with the cached-context verify path.
-  Rng rng(0xC47);
+  const std::uint64_t seed = cb::test::seed_or(0xC47);
+  SCOPED_TRACE(::testing::Message() << "replay with CB_TEST_SEED=" << seed);
+  Rng rng(seed);
   for (std::size_t bits : {128u, 192u, 512u}) {
     RsaKeyPair keys = RsaKeyPair::generate(rng, bits);
     const Bytes msg = rng.random_bytes(64);

@@ -16,6 +16,7 @@
 #include "obs/metrics.hpp"
 #include "scenario/chaos.hpp"
 #include "scenario/trial_runner.hpp"
+#include "test_seed.hpp"
 
 namespace {
 
@@ -104,7 +105,9 @@ TEST(ObsHistogram, BucketBoundsContainValue) {
   // Property: over values spanning the whole resolved range, every value
   // lands in a bucket whose [lower, upper) bounds contain it, and the
   // bucket's relative width is <= 1/kSubBuckets.
-  Rng rng(0xB0B5);
+  const std::uint64_t seed = cb::test::seed_or(0xB0B5);
+  SCOPED_TRACE(::testing::Message() << "replay with CB_TEST_SEED=" << seed);
+  Rng rng(seed);
   for (int trial = 0; trial < 20000; ++trial) {
     const int exp = static_cast<int>(rng.next_below(60)) - 14;  // 2^-14 .. 2^45
     const double v = std::ldexp(1.0 + rng.next_double(), exp);
@@ -148,7 +151,9 @@ TEST(ObsHistogram, PercentileWithinOneBucketOfExact) {
   // must stay within one bucket width (rel. error <= 1/kSubBuckets) of the
   // exact nearest-rank value computed from the sorted samples.
   const double kRelTol = 1.0 / Histogram::kSubBuckets + 1e-9;
-  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+  const std::uint64_t base = cb::test::seed_or(1);
+  for (std::uint64_t seed = base; seed < base + 40; ++seed) {
+    SCOPED_TRACE(::testing::Message() << "replay with CB_TEST_SEED=" << seed);
     Rng rng(seed);
     Histogram h;
     std::vector<double> samples;
@@ -178,7 +183,9 @@ TEST(ObsHistogram, MergedPercentilesMatchCombinedStream) {
   // Merging two histograms must answer exactly as if every sample had been
   // observed by one histogram (bucket counts are exact, so this is equality,
   // not approximation).
-  Rng rng(777);
+  const std::uint64_t seed = cb::test::seed_or(777);
+  SCOPED_TRACE(::testing::Message() << "replay with CB_TEST_SEED=" << seed);
+  Rng rng(seed);
   Histogram a, b, combined;
   for (int i = 0; i < 500; ++i) {
     const double v = rng.uniform(0.1, 1000.0);

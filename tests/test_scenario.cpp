@@ -2,9 +2,15 @@
 // determinism, the Fig.7 harness, attach storms, and a fast Table-1 cell.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
 #include "apps/iperf.hpp"
 #include "scenario/attach_experiment.hpp"
 #include "scenario/table1.hpp"
+#include "scenario/trial_runner.hpp"
 #include "scenario/world.hpp"
 
 namespace cb::scenario {
@@ -123,6 +129,82 @@ TEST(AttachStorm, SurvivesControlPathLoss) {
   const AttachStorm lossy = run_attach_storm(Architecture::CellBricks, 20,
                                              Duration::millis(7.2), 0.08);
   EXPECT_EQ(lossy.completed, 20);  // the SAP retransmission recovers everything
+}
+
+TEST(Routes, ExpectedMtthoIsSpacingOverSpeed) {
+  const RouteSpec r{"Custom", false, 10.0, 500.0, ran::RatePolicy::unlimited()};
+  EXPECT_DOUBLE_EQ(r.expected_mttho_s(), 50.0);
+  // Every built-in route is self-consistent: name set, positive geometry.
+  for (const RouteSpec& spec : all_routes()) {
+    EXPECT_FALSE(spec.name.empty());
+    EXPECT_GT(spec.speed_mps, 0.0);
+    EXPECT_GT(spec.tower_spacing_m, 0.0);
+    EXPECT_GT(spec.expected_mttho_s(), 0.0);
+  }
+}
+
+TEST(WorldWiring, CellBricksBuildsOneBtelcoPerTower) {
+  WorldConfig cfg;
+  cfg.arch = Architecture::CellBricks;
+  cfg.n_towers = 6;
+  cfg.route = RouteSpec{"t", false, 10.0, 700.0, ran::RatePolicy::unlimited()};
+  cfg.unlimited_policy = true;
+  World world(cfg);
+  ASSERT_NE(world.brokerd(), nullptr);
+  ASSERT_EQ(world.n_btelcos(), 6u);
+  // Each tower owns its own bTelco with a distinct SAP identity and its own
+  // control path to the cloud (the fault surface indexes them 1:1).
+  EXPECT_EQ(world.n_cloud_links(), 6u);
+  std::set<std::string> ids;
+  for (std::size_t i = 0; i < world.n_btelcos(); ++i) {
+    ids.insert(world.btelco(i)->id());
+  }
+  EXPECT_EQ(ids.size(), 6u);
+}
+
+TEST(WorldWiring, MnoHasNoBrokerAndNoBtelcos) {
+  WorldConfig cfg;
+  cfg.arch = Architecture::Mno;
+  cfg.n_towers = 3;
+  cfg.route = RouteSpec{"t", false, 10.0, 700.0, ran::RatePolicy::unlimited()};
+  cfg.unlimited_policy = true;
+  World world(cfg);
+  EXPECT_EQ(world.brokerd(), nullptr);
+  EXPECT_EQ(world.n_btelcos(), 0u);
+}
+
+TEST(TrialRunnerEdge, ZeroTrialsReturnsEmptyWithoutBlocking) {
+  TrialRunner pool(2);
+  const std::vector<std::size_t> r = pool.map(0, [](std::size_t i) { return i; });
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(TrialRunnerEdge, MoreThreadsThanTrialsStillIndexOrdered) {
+  TrialRunner pool(8);
+  EXPECT_EQ(pool.thread_count(), 8u);
+  const std::vector<std::size_t> r = pool.map(3, [](std::size_t i) { return i * i; });
+  EXPECT_EQ(r, (std::vector<std::size_t>{0, 1, 4}));
+}
+
+TEST(TrialRunnerEdge, ZeroThreadsFallsBackToHardwareConcurrency) {
+  TrialRunner pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+  const std::vector<std::size_t> r = pool.map(5, [](std::size_t i) { return i + 1; });
+  EXPECT_EQ(r, (std::vector<std::size_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(TrialRunnerEdge, FirstExceptionByIndexIsRethrownAfterBarrier) {
+  TrialRunner pool(4);
+  try {
+    pool.map(4, [](std::size_t i) -> int {
+      if (i == 1) throw std::runtime_error("trial 1");
+      if (i == 3) throw std::runtime_error("trial 3");
+      return 0;
+    });
+    FAIL() << "map must rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "trial 1") << "lowest failing index wins, deterministically";
+  }
 }
 
 TEST(Table1, QuickCellProducesSaneMetrics) {

@@ -1,0 +1,25 @@
+// Seed plumbing for randomized tests.
+//
+// Every property-style test derives its randomness from
+// `cb::test::seed_or(<default>)` and wraps the body in a SCOPED_TRACE that
+// prints the seed, so a CI failure shows exactly which seed to replay and
+// `CB_TEST_SEED=<n> ctest ...` replays it without editing code. Fixed-vector
+// tests (NIST/RFC vectors, garbage-decode regressions) keep literal seeds —
+// those are inputs, not sampled randomness.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace cb::test {
+
+/// Base seed for a randomized test: the CB_TEST_SEED environment variable
+/// overrides `fallback` when set (decimal, 0x-hex, or octal).
+inline std::uint64_t seed_or(std::uint64_t fallback) {
+  if (const char* env = std::getenv("CB_TEST_SEED")) {
+    return std::strtoull(env, nullptr, 0);
+  }
+  return fallback;
+}
+
+}  // namespace cb::test

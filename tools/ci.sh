@@ -20,7 +20,10 @@ run_suite() {
   shift
   cmake -B "$build_dir" -S . "$@"
   cmake --build "$build_dir" -j "$(nproc)"
-  ctest --test-dir "$build_dir" --output-on-failure
+  # Tests are labeled unit / property / fuzz (ctest -L <tier> selects one).
+  # The fuzz corpus is excluded here and run in its own leg below, where a
+  # violation also produces a shrunk repro file instead of a bare failure.
+  ctest --test-dir "$build_dir" --output-on-failure -LE fuzz
 }
 
 echo "=== sanitized build (Debug, address,undefined, leaks on) ==="
@@ -32,6 +35,21 @@ fi
 
 echo "=== release build ==="
 run_suite build -DCMAKE_BUILD_TYPE=Release
+
+echo "=== fuzz smoke (64-seed corpus, shrink-on-fail) ==="
+# Full 64 seeds on the release binary; a front slice of the same corpus on
+# the sanitized one (≈35x slower), catching memory bugs the invariants
+# can't. On violation cbfuzz exits nonzero after shrinking the failing
+# seed to a minimal repro — the artifact to attach to the bug report.
+run_fuzz() {
+  if ! "$1" --seeds "$2" --out fuzz_repro.json; then
+    echo "fuzz smoke FAILED — minimal repro in fuzz_repro.json:"
+    cat fuzz_repro.json
+    exit 1
+  fi
+}
+run_fuzz build/tools/cbfuzz 64
+[[ -x build-asan/tools/cbfuzz ]] && run_fuzz build-asan/tools/cbfuzz 8
 
 echo "=== bench smoke (schema check) ==="
 tools/bench.sh --smoke
