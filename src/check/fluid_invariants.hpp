@@ -1,0 +1,32 @@
+// Invariant catalogue for the hybrid fluid/packet traffic engine
+// (DESIGN.md §11), checked live against a scenario::ScaleTrafficSim:
+//
+//   fluid.conservation  every delivered byte is exactly one ledger entry —
+//                       Σ arena delivered == fluid segment bytes + packet
+//                       lane bytes at every check instant (the two sides are
+//                       updated together, so no accrual sweep is needed and
+//                       the checker stays read-only); negative-residual
+//                       observations stay zero; per-flow delivered never
+//                       exceeds demand.
+//   fluid.allocation    allocated rates are non-negative and each cell's sum
+//                       of shares stays within its capacity (the water-fill
+//                       never oversubscribes); the engine's active-flow
+//                       count matches the arena's Fluid-mode population.
+//   fluid.billing       billed bytes trail delivered bytes (the sweep only
+//                       bills what the ledger shows) and billed dollars
+//                       equal billed bytes x price (end-only: totals settle
+//                       at the final sweep).
+//
+// Same read-only/no-RNG/no-scheduling contract as world_invariants.
+#pragma once
+
+#include "check/invariant.hpp"
+#include "scenario/scale_traffic.hpp"
+
+namespace cb::check {
+
+/// Register the fluid catalogue against a built (started or not) sim. The
+/// sim must outlive the engine's last check.
+void install_fluid_invariants(InvariantEngine& engine, scenario::ScaleTrafficSim& sim);
+
+}  // namespace cb::check

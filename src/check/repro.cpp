@@ -53,6 +53,10 @@ JsonValue scenario_to_json(const scenario::FuzzScenario& s) {
   o["telco0_overreport"] = s.telco0_overreport;
   o["ue_underreport"] = s.ue_underreport;
   o["app"] = s.app;
+  if (s.fluid_ues > 0) {
+    o["fluid_ues"] = s.fluid_ues;
+    o["fluid_hybrid"] = s.fluid_hybrid;
+  }
   o["faults"] = std::move(faults);
   if (s.plant_dedup_bug) o["plant_dedup_bug"] = true;
   return JsonValue(std::move(o));
@@ -72,6 +76,8 @@ scenario::FuzzScenario scenario_from_json(const JsonValue& v) {
   s.telco0_overreport = v.get("telco0_overreport", JsonValue(1.0)).as_double();
   s.ue_underreport = v.get("ue_underreport", JsonValue(1.0)).as_double();
   s.app = static_cast<int>(v.get("app", JsonValue(0)).as_int());
+  s.fluid_ues = static_cast<int>(v.get("fluid_ues", JsonValue(0)).as_int());
+  s.fluid_hybrid = v.get("fluid_hybrid", JsonValue(false)).as_bool();
   s.plant_dedup_bug = v.get("plant_dedup_bug", JsonValue(false)).as_bool();
   if (s.n_towers < 1) throw std::runtime_error("repro: n_towers must be >= 1");
   s.faults.clear();

@@ -1,10 +1,13 @@
 #include "check/runner.hpp"
 
+#include <algorithm>
 #include <memory>
 
 #include "apps/iperf.hpp"
 #include "apps/ping.hpp"
+#include "check/fluid_invariants.hpp"
 #include "check/world_invariants.hpp"
+#include "scenario/scale_traffic.hpp"
 #include "scenario/world.hpp"
 #include "sim/fault.hpp"
 
@@ -98,6 +101,10 @@ std::uint64_t RunReport::fingerprint() const {
   fnv_mix(h, pairs_compared);
   fnv_mix(h, fault_log_entries);
   fnv_mix(h, ue_attached_at_end ? 1 : 0);
+  fnv_mix(h, traffic_completed);
+  fnv_mix(h, traffic_rate_events);
+  fnv_mix(h, traffic_demotions);
+  fnv_mix(h, traffic_fingerprint);
   fnv_mix(h, static_cast<std::uint64_t>(violations.size()));
   return h;
 }
@@ -154,6 +161,45 @@ RunReport run_scenario(const scenario::FuzzScenario& s, const RunOptions& option
   report.pairs_compared = world.brokerd()->pairs_compared_total();
   report.fault_log_entries = chaos.log().size();
   report.ue_attached_at_end = world.ue_agent()->attached();
+
+  // Traffic phase: an independent simulator running the hybrid fluid/packet
+  // engine under its own invariant catalogue. Kept separate from the world
+  // run so the world's chaos fingerprints are untouched by the knob.
+  if (s.fluid_ues > 0) {
+    scenario::ScaleTrafficConfig tc;
+    tc.mode = s.fluid_hybrid ? scenario::TrafficMode::Hybrid : scenario::TrafficMode::Fluid;
+    tc.n_ues = s.fluid_ues;
+    tc.n_cells = std::max(1, s.fluid_ues / 16);
+    tc.seed = s.seed;
+    tc.night = s.night;
+    tc.mean_flow_mbytes = 2.0;
+    tc.start_window_s = 5.0;
+    tc.horizon_s = 600.0;
+    tc.mobility_interval_s = 20.0;
+    tc.shaper_resample_s = s.report_interval_s;
+    tc.report_interval_s = s.report_interval_s;
+    if (s.fluid_hybrid) {
+      tc.fault_start_s = 5.0;
+      tc.fault_duration_s = 10.0;
+    }
+    scenario::ScaleTrafficSim traffic(tc);
+    InvariantEngine fluid_engine;
+    install_fluid_invariants(fluid_engine, traffic);
+    traffic.start();
+    const TimePoint traffic_horizon = TimePoint::zero() + Duration::seconds(tc.horizon_s);
+    fluid_engine.arm(traffic.simulator(), options.check_cadence, traffic_horizon);
+    traffic.simulator().run_until(traffic_horizon);
+    fluid_engine.finalize(traffic.simulator().now());
+    const scenario::ScaleTrafficResult tr = traffic.collect();
+
+    report.violations.insert(report.violations.end(), fluid_engine.violations().begin(),
+                             fluid_engine.violations().end());
+    report.checks_run += fluid_engine.checks_run();
+    report.traffic_completed = static_cast<std::uint64_t>(tr.completed);
+    report.traffic_rate_events = tr.rate_events;
+    report.traffic_demotions = tr.demotions;
+    report.traffic_fingerprint = tr.fingerprint();
+  }
   return report;
 }
 

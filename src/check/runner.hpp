@@ -27,6 +27,11 @@ struct RunReport {
   std::uint64_t pairs_compared = 0;
   std::uint64_t fault_log_entries = 0;
   bool ue_attached_at_end = false;
+  // Traffic phase counters (zero when the scenario's fluid_ues is 0).
+  std::uint64_t traffic_completed = 0;
+  std::uint64_t traffic_rate_events = 0;
+  std::uint64_t traffic_demotions = 0;
+  std::uint64_t traffic_fingerprint = 0;
 
   bool ok() const { return violations.empty(); }
   /// FNV-1a over the counters above — cheap cross-run comparison handle.

@@ -140,6 +140,17 @@ bool simplify_knobs(scenario::FuzzScenario& best, Oracle& oracle, Violation& wit
        [](const scenario::FuzzScenario& s) { return s.ue_underreport != 1.0; }},
       {"policy-default", [](scenario::FuzzScenario& s) { s.unlimited_policy = false; },
        [](const scenario::FuzzScenario& s) { return s.unlimited_policy; }},
+      {"fluid-off",
+       [](scenario::FuzzScenario& s) {
+         // Clear the mode too: with the phase off it is canonically false
+         // (the repro serializer omits it), and leaving it set would make
+         // the round-tripped minimal scenario compare unequal.
+         s.fluid_ues = 0;
+         s.fluid_hybrid = false;
+       },
+       [](const scenario::FuzzScenario& s) { return s.fluid_ues > 0; }},
+      {"fluid-no-hybrid", [](scenario::FuzzScenario& s) { s.fluid_hybrid = false; },
+       [](const scenario::FuzzScenario& s) { return s.fluid_ues > 0 && s.fluid_hybrid; }},
   };
   for (const auto& tweak : kTweaks) {
     if (!tweak.applicable(best) || !oracle.budget_left()) continue;

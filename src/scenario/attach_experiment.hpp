@@ -44,6 +44,9 @@ struct AttachStorm {
   double mean_ms = 0.0;
   double p99_ms = 0.0;
   int completed = 0;
+  /// Simulated seconds actually executed (storms stop at the last event,
+  /// well before the 120 s guard) — feeds the bench's sim-per-wall ratio.
+  double sim_s = 0.0;
 };
 AttachStorm run_attach_storm(Architecture arch, int n_ues, Duration cloud_rtt,
                              double radio_loss, std::uint64_t seed = 1);

@@ -28,6 +28,13 @@ FuzzScenario random_scenario(std::uint64_t seed) {
   if (rng.chance(0.15)) s.telco0_overreport = rng.uniform(1.1, 1.8);
   if (rng.chance(0.15)) s.ue_underreport = rng.uniform(0.5, 0.9);
   s.app = static_cast<int>(rng.next_below(4));
+  // Traffic phase: sampled often enough that every corpus sweep crosses the
+  // fluid/packet boundary a few times. Small populations — the invariant
+  // sweep is O(UEs) per tick and shrinking prefers dropping the phase whole.
+  if (rng.chance(0.35)) {
+    s.fluid_ues = 8 + static_cast<int>(rng.next_below(57));  // 8..64
+    s.fluid_hybrid = rng.chance(0.5);
+  }
 
   const std::size_t n_faults = rng.next_below(6);  // 0..5
   for (std::size_t i = 0; i < n_faults; ++i) {

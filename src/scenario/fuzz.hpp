@@ -50,6 +50,13 @@ struct FuzzScenario {
   double ue_underreport = 1.0;
   /// App mix: 0 = mobility only, 1 = bulk download, 2 = ping, 3 = both.
   int app = 1;
+  /// Hybrid fluid/packet traffic phase (DESIGN.md §11): when > 0 the checker
+  /// also runs a scale-traffic sim of this many UEs under the fluid
+  /// invariant catalogue (fluid.conservation et al.). 0 = phase off.
+  int fluid_ues = 0;
+  /// Traffic phase mode: fluid-only, or hybrid with a mid-run fault window
+  /// that exercises the fluid -> packet -> fluid fidelity boundary.
+  bool fluid_hybrid = false;
   std::vector<FuzzFault> faults;
   /// TEST HOOK passthrough: re-introduce the broker's report double-count
   /// bug (Brokerd::Config::test_skip_report_dedup) so the checker's

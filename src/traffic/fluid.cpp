@@ -1,0 +1,220 @@
+#include "traffic/fluid.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace cb::traffic {
+
+namespace {
+
+/// A flow whose residual is within this of zero is complete; the remainder
+/// is banked as its final segment at the completion instant.
+constexpr double kCompleteEpsBytes = 0.5;
+/// Completion events are scheduled this far past the analytic completion
+/// instant so integer-nanosecond truncation can never fire them early.
+constexpr Duration kEventGuard = Duration::us(1);
+
+}  // namespace
+
+FluidEngine::FluidEngine(sim::Simulator& sim, SessionArena& arena) : sim_(sim), arena_(arena) {}
+
+std::uint32_t FluidEngine::add_cell(double capacity_bps) {
+  Cell c;
+  c.capacity_bps = capacity_bps;
+  c.last_accrual = sim_.now();
+  cells_.push_back(std::move(c));
+  return static_cast<std::uint32_t>(cells_.size() - 1);
+}
+
+void FluidEngine::set_cell_capacity(std::uint32_t cell, double capacity_bps) {
+  cells_[cell].capacity_bps = capacity_bps;
+  reallocate(cell);
+}
+
+void FluidEngine::start_flow(SessionId id, double bytes) {
+  assert(arena_.mode(id) == FlowMode::Idle);
+  arena_.mode(id) = FlowMode::Fluid;
+  arena_.demand_bytes(id) = bytes;
+  arena_.delivered_bytes(id) = 0.0;
+  arena_.rate_bps(id) = 0.0;
+  arena_.start_ns(id) = sim_.now().nanos();
+  insert_member(cells_[arena_.cell(id)], id);
+  ++active_fluid_;
+  reallocate(arena_.cell(id));
+}
+
+void FluidEngine::handover(SessionId id, std::uint32_t new_cell) {
+  const std::uint32_t old_cell = arena_.cell(id);
+  if (old_cell == new_cell) return;
+  remove_member(cells_[old_cell], id);
+  arena_.cell(id) = new_cell;
+  insert_member(cells_[new_cell], id);
+  reallocate(old_cell);
+  reallocate(new_cell);
+}
+
+void FluidEngine::set_flow_cap(SessionId id, double cap_bps) {
+  arena_.cap_bps(id) = cap_bps;
+  reallocate(arena_.cell(id));
+}
+
+double FluidEngine::demote(SessionId id) {
+  assert(arena_.mode(id) == FlowMode::Fluid);
+  // Bank progress up to this instant, then hand the residual to the lane.
+  accrue_cell(cells_[arena_.cell(id)]);
+  arena_.mode(id) = FlowMode::Packet;
+  arena_.rate_bps(id) = 0.0;  // reallocate publishes the ghost share
+  --active_fluid_;
+  ++demotions_;
+  reallocate(arena_.cell(id));
+  return arena_.residual_bytes(id);
+}
+
+void FluidEngine::promote(SessionId id) {
+  assert(arena_.mode(id) == FlowMode::Packet);
+  arena_.mode(id) = FlowMode::Fluid;
+  ++active_fluid_;
+  ++promotions_;
+  reallocate(arena_.cell(id));
+}
+
+void FluidEngine::finish_packet_flow(SessionId id) {
+  assert(arena_.mode(id) == FlowMode::Packet);
+  arena_.mode(id) = FlowMode::Done;
+  arena_.rate_bps(id) = 0.0;
+  arena_.finish_ns(id) = sim_.now().nanos();
+  remove_member(cells_[arena_.cell(id)], id);
+  reallocate(arena_.cell(id));
+}
+
+void FluidEngine::accrue_all() {
+  for (Cell& c : cells_) accrue_cell(c);
+}
+
+void FluidEngine::accrue_cell(Cell& c) {
+  const TimePoint now = sim_.now();
+  const double dt_s = (now - c.last_accrual).to_seconds();
+  c.last_accrual = now;
+  if (dt_s <= 0.0) return;
+  for (SessionId id : c.flows) {
+    if (arena_.mode(id) != FlowMode::Fluid) continue;  // ghosts progress via packets
+    const double offered = arena_.rate_bps(id) * dt_s / 8.0;
+    if (offered <= 0.0) continue;
+    const double residual = arena_.residual_bytes(id);
+    if (residual < 0.0) ++negative_residuals_;
+    const double add = std::min(offered, std::max(residual, 0.0));
+    arena_.delivered_bytes(id) += add;
+    segment_bytes_ += add;
+    clamped_bytes_ += offered - add;
+  }
+}
+
+void FluidEngine::reallocate(std::uint32_t cell_id) {
+  Cell& c = cells_[cell_id];
+  accrue_cell(c);
+  ++rate_events_;
+
+  // Weighted max-min fairness with per-flow caps, one water-filling pass:
+  // visit flows in ascending cap/weight (uncapped last); a flow whose cap is
+  // below the running fair level keeps its cap, everyone after shares the
+  // leftovers in proportion to weight.
+  const std::size_t n = c.flows.size();
+  scratch_order_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) scratch_order_[i] = static_cast<std::uint32_t>(i);
+  auto cap_per_weight = [&](std::uint32_t i) {
+    const SessionId id = c.flows[i];
+    const double cap = arena_.cap_bps(id);
+    return cap > 0.0 ? cap / arena_.weight(id) : std::numeric_limits<double>::infinity();
+  };
+  std::sort(scratch_order_.begin(), scratch_order_.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              const double ca = cap_per_weight(a);
+              const double cb = cap_per_weight(b);
+              if (ca != cb) return ca < cb;
+              return c.flows[a] < c.flows[b];  // deterministic tie-break
+            });
+
+  double remaining = c.capacity_bps;
+  double weight_left = 0.0;
+  for (SessionId id : c.flows) weight_left += arena_.weight(id);
+
+  for (std::uint32_t i : scratch_order_) {
+    const SessionId id = c.flows[i];
+    const double w = arena_.weight(id);
+    double rate = 0.0;
+    if (remaining > 0.0 && weight_left > 0.0) {
+      const double fair = remaining * w / weight_left;
+      const double cap = arena_.cap_bps(id);
+      rate = (cap > 0.0 && cap < fair) ? cap : fair;
+    }
+    remaining -= rate;
+    weight_left -= w;
+    if (arena_.mode(id) == FlowMode::Packet) {
+      // Ghost: publish the share to the packet lane when it moves.
+      if (rate != arena_.rate_bps(id)) {
+        arena_.rate_bps(id) = rate;
+        if (on_rate_share) on_rate_share(id, rate);
+      }
+    } else {
+      arena_.rate_bps(id) = rate;
+    }
+  }
+
+  // Next rate-change point this cell generates on its own: the earliest
+  // fluid completion at the just-computed rates.
+  c.next_completion.cancel();
+  double min_dt_s = std::numeric_limits<double>::infinity();
+  for (SessionId id : c.flows) {
+    if (arena_.mode(id) != FlowMode::Fluid) continue;
+    const double rate = arena_.rate_bps(id);
+    if (rate <= 0.0) continue;
+    const double dt = arena_.residual_bytes(id) * 8.0 / rate;
+    min_dt_s = std::min(min_dt_s, std::max(dt, 0.0));
+  }
+  if (min_dt_s != std::numeric_limits<double>::infinity()) {
+    c.next_completion = sim_.schedule(Duration::seconds(min_dt_s) + kEventGuard,
+                                      [this, cell_id] { fire(cell_id); });
+  }
+}
+
+void FluidEngine::fire(std::uint32_t cell_id) {
+  Cell& c = cells_[cell_id];
+  accrue_cell(c);
+
+  // Complete every fluid flow that reached its demand (ties complete
+  // together, in SessionId order — the member list is sorted).
+  std::vector<SessionId> done;
+  for (SessionId id : c.flows) {
+    if (arena_.mode(id) != FlowMode::Fluid) continue;
+    if (arena_.residual_bytes(id) <= kCompleteEpsBytes) done.push_back(id);
+  }
+  for (SessionId id : done) {
+    // The sub-epsilon remainder is the final segment, delivered now.
+    segment_bytes_ += arena_.residual_bytes(id);
+    arena_.delivered_bytes(id) = arena_.demand_bytes(id);
+    arena_.mode(id) = FlowMode::Done;
+    arena_.rate_bps(id) = 0.0;
+    arena_.finish_ns(id) = sim_.now().nanos();
+    remove_member(c, id);
+    --active_fluid_;
+    ++completions_;
+  }
+  reallocate(cell_id);
+  if (on_complete) {
+    for (SessionId id : done) on_complete(id);
+  }
+}
+
+void FluidEngine::insert_member(Cell& c, SessionId id) {
+  auto it = std::lower_bound(c.flows.begin(), c.flows.end(), id);
+  c.flows.insert(it, id);
+}
+
+void FluidEngine::remove_member(Cell& c, SessionId id) {
+  auto it = std::lower_bound(c.flows.begin(), c.flows.end(), id);
+  assert(it != c.flows.end() && *it == id);
+  c.flows.erase(it);
+}
+
+}  // namespace cb::traffic

@@ -1,0 +1,143 @@
+// Flow-level ("fluid") traffic engine — the fast path of the hybrid
+// fluid/packet model (DESIGN.md §11).
+//
+// Steady-state bulk transfers are not worth packet-by-packet simulation: a
+// TCP flow that has converged inside a stable cell progresses at its fair
+// share of the cell's scheduler capacity, and nothing interesting happens
+// between rate-change points. The FluidEngine represents each such flow as
+// a rate share and advances delivered bytes analytically, scheduling sim
+// events ONLY where a rate can change:
+//
+//   - a flow arriving or finishing in a cell,
+//   - a handover moving a flow between cells,
+//   - a shaper/scheduler capacity transition (rate-policy resample, fault),
+//   - a flow demoting to / promoting from packet fidelity.
+//
+// Within a cell the allocation is weighted max-min fairness under per-flow
+// caps (the bearer shaper / QoS MBR), computed by one water-filling pass.
+// Flows demoted to packet mode stay in the cell as "ghost" members: they
+// keep consuming their share in the allocation (the packet lane's link rate
+// mirrors it via on_rate_share), so cell capacity is conserved across the
+// fidelity boundary; only their byte progress comes from real packets.
+//
+// Byte accounting is per-cell and lazy: each cell remembers when it last
+// accrued, and any mutation (or a completion event) first banks
+// rate × elapsed into every fluid flow of that cell. Accrual clamps at a
+// flow's demand, so delivered never exceeds demand and residuals never go
+// negative — the `fluid.conservation` invariant checks exactly this ledger.
+//
+// Determinism: no RNG, flow lists kept in ascending SessionId order, all
+// arithmetic in double precision with a fixed iteration order — same-seed
+// runs produce bit-identical delivered/billed totals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "traffic/arena.hpp"
+
+namespace cb::traffic {
+
+class FluidEngine {
+ public:
+  FluidEngine(sim::Simulator& sim, SessionArena& arena);
+
+  // --- topology -------------------------------------------------------------
+  /// Add a cell with the given downlink scheduler capacity; returns its id.
+  std::uint32_t add_cell(double capacity_bps);
+  /// Shaper/scheduler transition: retime the cell, then reallocate.
+  void set_cell_capacity(std::uint32_t cell, double capacity_bps);
+  double cell_capacity(std::uint32_t cell) const { return cells_[cell].capacity_bps; }
+  std::size_t n_cells() const { return cells_.size(); }
+
+  // --- flow lifecycle -------------------------------------------------------
+  /// Start a fluid flow of `bytes` on session `id` (arena supplies cell,
+  /// weight, and cap). The session must be Idle.
+  void start_flow(SessionId id, double bytes);
+  /// Move a flow (fluid or ghost/packet) to `new_cell` — a rate-change point
+  /// for both cells.
+  void handover(SessionId id, std::uint32_t new_cell);
+  /// Tighten/relax one flow's bearer cap (0 = uncapped).
+  void set_flow_cap(SessionId id, double cap_bps);
+
+  /// Demote a fluid flow to packet fidelity: banks its bytes, marks it
+  /// Packet, keeps it in the cell as a ghost (its share keeps being
+  /// allocated and is published through on_rate_share). Returns the residual
+  /// bytes the packet lane must transfer.
+  double demote(SessionId id);
+  /// Promote a packet flow back to fluid. The caller must have recorded all
+  /// packet-delivered bytes in arena.delivered_bytes before calling —
+  /// bytes-in-flight are conserved because the residual is re-derived from
+  /// the arena ledger, never guessed.
+  void promote(SessionId id);
+  /// Remove a flow that completed while in packet mode (ghost leaves cell).
+  void finish_packet_flow(SessionId id);
+
+  /// Fired when a fluid flow's delivered bytes reach its demand. The arena
+  /// already shows mode == Done and finish_ns set.
+  std::function<void(SessionId)> on_complete;
+  /// Fired when a ghost (packet-mode) flow's allocated share changes; hybrid
+  /// lanes mirror the share onto their bottleneck link.
+  std::function<void(SessionId, double rate_bps)> on_rate_share;
+
+  // --- sweeps ---------------------------------------------------------------
+  /// Bank rate × elapsed for every cell up to now (billing sweeps call this
+  /// before reading delivered totals). Does not change any rate.
+  void accrue_all();
+
+  // --- ledger / introspection (fluid.conservation reads these) -------------
+  /// Σ of all rate × interval segments ever banked into delivered bytes.
+  double segment_bytes() const { return segment_bytes_; }
+  /// Accruals that had to clamp at a flow's demand would otherwise overshoot
+  /// by at most rate × (event guard); the clamped remainder is counted here
+  /// so segment_bytes + nothing is lost (diagnostic, stays tiny).
+  double clamped_bytes() const { return clamped_bytes_; }
+  /// Times a residual was observed negative — must stay 0.
+  std::uint64_t negative_residuals() const { return negative_residuals_; }
+  /// Share recomputations (== rate-change points handled).
+  std::uint64_t rate_events() const { return rate_events_; }
+  /// Fluid-mode completions so far.
+  std::uint64_t completions() const { return completions_; }
+  std::uint64_t demotions() const { return demotions_; }
+  std::uint64_t promotions() const { return promotions_; }
+  /// Flows currently progressed by the engine (fluid only, ghosts excluded).
+  std::size_t active_fluid_flows() const { return active_fluid_; }
+
+ private:
+  struct Cell {
+    double capacity_bps = 0.0;
+    /// Members in ascending SessionId order; fluid flows and packet ghosts.
+    std::vector<SessionId> flows;
+    TimePoint last_accrual;
+    sim::EventHandle next_completion;
+  };
+
+  /// Bank rate × (now - last_accrual) into every fluid flow of the cell.
+  void accrue_cell(Cell& c);
+  /// accrue + recompute the max-min allocation + reschedule the cell's next
+  /// completion event. Every rate-change point funnels through here.
+  void reallocate(std::uint32_t cell);
+  /// Completion event handler for one cell.
+  void fire(std::uint32_t cell);
+  void remove_member(Cell& c, SessionId id);
+  void insert_member(Cell& c, SessionId id);
+
+  sim::Simulator& sim_;
+  SessionArena& arena_;
+  std::vector<Cell> cells_;
+  // Scratch for the water-filling pass (order indices), reused across calls.
+  std::vector<std::uint32_t> scratch_order_;
+
+  double segment_bytes_ = 0.0;
+  double clamped_bytes_ = 0.0;
+  std::uint64_t negative_residuals_ = 0;
+  std::uint64_t rate_events_ = 0;
+  std::uint64_t completions_ = 0;
+  std::uint64_t demotions_ = 0;
+  std::uint64_t promotions_ = 0;
+  std::size_t active_fluid_ = 0;
+};
+
+}  // namespace cb::traffic

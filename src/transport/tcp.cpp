@@ -358,6 +358,15 @@ void TcpSocket::try_send() {
       len = std::min<std::size_t>(len, it->first - rel(snd_nxt_));
     }
     if (len == 0) break;
+    // Sender-side SWS avoidance (RFC 1122 4.2.3.4): when the window — not
+    // the application — is what truncates the segment below one MSS, hold it
+    // until an ACK opens more window. Without this a bulk sender degenerates
+    // into MSS/8-sized segments (each ACK opens a sliver, which is sent
+    // immediately, which produces an equally small ACK) and wastes ~20% of a
+    // bottleneck link on headers. Data-limited small writes (signaling,
+    // request/response apps) still go out immediately, and a drained flight
+    // always permits a send, so progress is never deadlocked.
+    if (len < config_.mss && len < unsent && flight > 0) break;
     send_segment(snd_nxt_, len, /*fin=*/false);
     snd_nxt_ += static_cast<std::uint32_t>(len);
     sent_anything = true;

@@ -127,6 +127,8 @@ void expect_same_scenario(const scenario::FuzzScenario& a, const scenario::FuzzS
   EXPECT_DOUBLE_EQ(a.telco0_overreport, b.telco0_overreport);
   EXPECT_DOUBLE_EQ(a.ue_underreport, b.ue_underreport);
   EXPECT_EQ(a.app, b.app);
+  EXPECT_EQ(a.fluid_ues, b.fluid_ues);
+  EXPECT_EQ(a.fluid_hybrid, b.fluid_hybrid);
   EXPECT_EQ(a.plant_dedup_bug, b.plant_dedup_bug);
   ASSERT_EQ(a.faults.size(), b.faults.size());
   for (std::size_t i = 0; i < a.faults.size(); ++i) {
@@ -193,6 +195,25 @@ TEST(RunScenario, SameScenarioSameFingerprint) {
   EXPECT_EQ(a.events_executed, b.events_executed);
   EXPECT_EQ(a.sessions_issued, b.sessions_issued);
   EXPECT_GT(a.checks_run, 0u);
+}
+
+TEST(RunScenario, FluidPhaseRunsUnderInvariantsDeterministically) {
+  // A scenario with the traffic knob on runs the hybrid fluid/packet sim
+  // under the fluid.* catalogue; clean engine, deterministic fingerprint.
+  scenario::FuzzScenario s = scenario::random_scenario(cb::test::seed_or(2));
+  s.faults.clear();  // isolate the traffic phase from world chaos noise
+  s.duration_s = 60.0;
+  s.fluid_ues = 24;
+  s.fluid_hybrid = true;
+  SCOPED_TRACE(::testing::Message() << "replay with CB_TEST_SEED=" << s.seed);
+  const RunReport a = run_scenario(s);
+  EXPECT_TRUE(a.ok()) << (a.violations.empty() ? "" : a.violations[0].invariant);
+  EXPECT_EQ(a.traffic_completed, 24u);
+  EXPECT_GT(a.traffic_rate_events, 0u);
+  EXPECT_GT(a.traffic_demotions, 0u) << "hybrid fault window must demote flows";
+  const RunReport b = run_scenario(s);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(a.traffic_fingerprint, b.traffic_fingerprint);
 }
 
 // ---------------------------------------------------------------------------

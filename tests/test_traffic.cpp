@@ -1,0 +1,276 @@
+// Hybrid fluid/packet traffic engine (DESIGN.md §11): arena layout, max-min
+// shares, byte conservation, the fluid/packet fidelity boundary, same-seed
+// determinism, and the small-N packet-vs-fluid agreement the CI gates on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "scenario/scale_traffic.hpp"
+#include "sim/simulator.hpp"
+#include "test_seed.hpp"
+#include "traffic/arena.hpp"
+#include "traffic/fluid.hpp"
+
+namespace cb::traffic {
+namespace {
+
+TEST(Arena, SoALayoutAndRecycling) {
+  SessionArena arena(8);
+  const SessionId a = arena.create(0, 1.0f, 5e6);
+  const SessionId b = arena.create(1, 2.0f, 0.0, 2);
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(arena.size(), 2u);
+  arena.release(a);
+  EXPECT_EQ(arena.size(), 1u);
+  // Freed slot is recycled, not grown.
+  const SessionId c = arena.create(3, 1.0f, 1e6);
+  EXPECT_EQ(c, a);
+  EXPECT_EQ(arena.slots(), 2u);
+  EXPECT_EQ(arena.cell(c), 3u);
+  EXPECT_EQ(arena.mode(c), FlowMode::Idle);
+  // The working-set figure is a compile-time constant of the column set.
+  EXPECT_EQ(SessionArena::bytes_per_session(), 4u + 4u + 2u + 6u * 8u + 2u * 8u);
+}
+
+TEST(Fluid, EqualShareSplitsCapacity) {
+  sim::Simulator sim(1);
+  SessionArena arena(4);
+  FluidEngine eng(sim, arena);
+  const std::uint32_t cell = eng.add_cell(100e6);
+  for (int i = 0; i < 4; ++i) arena.create(cell, 1.0f, 0.0);
+  for (SessionId id = 0; id < 4; ++id) eng.start_flow(id, 1e9);
+  for (SessionId id = 0; id < 4; ++id) EXPECT_DOUBLE_EQ(arena.rate_bps(id), 25e6);
+}
+
+TEST(Fluid, CapBoundFlowsReleaseCapacityToOthers) {
+  sim::Simulator sim(1);
+  SessionArena arena(3);
+  FluidEngine eng(sim, arena);
+  const std::uint32_t cell = eng.add_cell(90e6);
+  arena.create(cell, 1.0f, 10e6);  // shaper-capped
+  arena.create(cell, 1.0f, 0.0);
+  arena.create(cell, 1.0f, 0.0);
+  for (SessionId id = 0; id < 3; ++id) eng.start_flow(id, 1e9);
+  // Water-filling: capped flow keeps 10, the other two split the remaining 80.
+  EXPECT_DOUBLE_EQ(arena.rate_bps(0), 10e6);
+  EXPECT_DOUBLE_EQ(arena.rate_bps(1), 40e6);
+  EXPECT_DOUBLE_EQ(arena.rate_bps(2), 40e6);
+}
+
+TEST(Fluid, WeightedShares) {
+  sim::Simulator sim(1);
+  SessionArena arena(2);
+  FluidEngine eng(sim, arena);
+  const std::uint32_t cell = eng.add_cell(30e6);
+  arena.create(cell, 2.0f, 0.0);  // premium QCI, weight 2
+  arena.create(cell, 1.0f, 0.0);
+  eng.start_flow(0, 1e9);
+  eng.start_flow(1, 1e9);
+  EXPECT_DOUBLE_EQ(arena.rate_bps(0), 20e6);
+  EXPECT_DOUBLE_EQ(arena.rate_bps(1), 10e6);
+}
+
+TEST(Fluid, CompletionTimeIsAnalytic) {
+  sim::Simulator sim(1);
+  SessionArena arena(1);
+  FluidEngine eng(sim, arena);
+  const std::uint32_t cell = eng.add_cell(8e6);  // 1 MB/s
+  arena.create(cell, 1.0f, 0.0);
+  std::vector<SessionId> done;
+  eng.on_complete = [&](SessionId id) { done.push_back(id); };
+  eng.start_flow(0, 10e6);  // 10 MB at 1 MB/s -> 10 s
+  sim.run();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(arena.mode(0), FlowMode::Done);
+  EXPECT_DOUBLE_EQ(arena.delivered_bytes(0), 10e6);
+  EXPECT_NEAR(static_cast<double>(arena.finish_ns(0)) / 1e9, 10.0, 1e-3);
+  // Only rate-change points generated events: O(1) events for the whole flow.
+  EXPECT_LT(sim.events_executed(), 10u);
+}
+
+TEST(Fluid, ConservationLedgerAcrossChurn) {
+  sim::Simulator sim(1);
+  SessionArena arena(16);
+  FluidEngine eng(sim, arena);
+  const std::uint32_t c0 = eng.add_cell(50e6);
+  const std::uint32_t c1 = eng.add_cell(50e6);
+  for (int i = 0; i < 16; ++i) arena.create(i % 2 ? c0 : c1, 1.0f, 0.0);
+  for (SessionId id = 0; id < 16; ++id) {
+    sim.schedule(Duration::ms(50 * id), [&eng, id] { eng.start_flow(id, 4e6); });
+  }
+  // Mid-run churn: handovers and a capacity dip — all rate-change points.
+  sim.schedule(Duration::seconds(1.0), [&] {
+    for (SessionId id = 0; id < 8; ++id) eng.handover(id, arena.cell(id) == c0 ? c1 : c0);
+  });
+  sim.schedule(Duration::seconds(2.0), [&] { eng.set_cell_capacity(c0, 10e6); });
+  sim.schedule(Duration::seconds(3.0), [&] { eng.set_cell_capacity(c0, 50e6); });
+  sim.run();
+
+  double delivered = 0.0;
+  for (SessionId id = 0; id < 16; ++id) {
+    EXPECT_EQ(arena.mode(id), FlowMode::Done);
+    EXPECT_DOUBLE_EQ(arena.delivered_bytes(id), arena.demand_bytes(id));
+    delivered += arena.delivered_bytes(id);
+  }
+  // fluid.conservation: delivered == sum of banked segments, no negatives.
+  EXPECT_NEAR(eng.segment_bytes(), delivered, 1.0);
+  EXPECT_EQ(eng.negative_residuals(), 0u);
+  EXPECT_EQ(eng.active_fluid_flows(), 0u);
+}
+
+TEST(Fluid, GhostReservationConservesCellCapacity) {
+  sim::Simulator sim(1);
+  SessionArena arena(2);
+  FluidEngine eng(sim, arena);
+  const std::uint32_t cell = eng.add_cell(20e6);
+  arena.create(cell, 1.0f, 0.0);
+  arena.create(cell, 1.0f, 0.0);
+  double ghost_share = -1.0;
+  eng.on_rate_share = [&](SessionId id, double share) {
+    EXPECT_EQ(id, 0u);
+    ghost_share = share;
+  };
+  eng.start_flow(0, 1e9);
+  eng.start_flow(1, 1e9);
+  eng.demote(0);
+  // The ghost still holds its 10 Mb/s share; the fluid flow does NOT absorb it.
+  EXPECT_DOUBLE_EQ(ghost_share, 10e6);
+  EXPECT_DOUBLE_EQ(arena.rate_bps(1), 10e6);
+  // Packet progress is recorded by the caller; promote re-derives residual.
+  arena.delivered_bytes(0) += 5e6;
+  eng.promote(0);
+  EXPECT_EQ(arena.mode(0), FlowMode::Fluid);
+  EXPECT_DOUBLE_EQ(arena.rate_bps(0), 10e6);
+  EXPECT_DOUBLE_EQ(arena.residual_bytes(0), 1e9 - 5e6);
+}
+
+// --- scenario-level properties ---------------------------------------------
+
+scenario::ScaleTrafficConfig small_config(std::uint64_t seed) {
+  scenario::ScaleTrafficConfig cfg;
+  cfg.n_ues = 24;
+  cfg.n_cells = 2;
+  cfg.seed = seed;
+  cfg.mean_flow_mbytes = 2.0;
+  cfg.start_window_s = 2.0;
+  cfg.horizon_s = 600.0;
+  return cfg;
+}
+
+TEST(ScaleTraffic, FluidDeterministicAcrossRuns) {
+  const std::uint64_t seed = cb::test::seed_or(7);
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  auto cfg = small_config(seed);
+  cfg.mode = scenario::TrafficMode::Fluid;
+  cfg.mobility_interval_s = 20.0;
+  cfg.shaper_resample_s = 30.0;
+  const auto a = scenario::run_scale_traffic(cfg);
+  const auto b = scenario::run_scale_traffic(cfg);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(a.completed, cfg.n_ues);
+  EXPECT_EQ(a.negative_residuals, 0u);
+  EXPECT_NEAR(a.delivered_bytes, a.segment_bytes + a.packet_ledger_bytes, 1.0);
+}
+
+TEST(ScaleTraffic, PacketDeterministicAcrossRuns) {
+  const std::uint64_t seed = cb::test::seed_or(11);
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  auto cfg = small_config(seed);
+  cfg.n_ues = 8;
+  cfg.mode = scenario::TrafficMode::Packet;
+  const auto a = scenario::run_scale_traffic(cfg);
+  const auto b = scenario::run_scale_traffic(cfg);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(a.completed, cfg.n_ues);
+}
+
+TEST(ScaleTraffic, PacketVsFluidAgreementSmallN) {
+  // The Table-1-style agreement the bench and CI gate on: identical
+  // seed-derived workload, both modes complete everything, delivered bytes
+  // and billing byte-exact, completion times within the documented tolerance.
+  // The timing gate runs in the shaper-dominated regime (cell capacity not
+  // contended) — that is where the fluid steady-state assumption holds; under
+  // heavy contention TCP's slow convergence diverges from instant max-min
+  // and the hybrid engine demotes to packets instead (see EXPERIMENTS.md).
+  const std::uint64_t seed = cb::test::seed_or(3);
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  auto cfg = small_config(seed);
+  cfg.scheduler_capacity_bps = 400e6;  // shaper caps are the bottleneck
+  cfg.mode = scenario::TrafficMode::Fluid;
+  const auto fluid = scenario::run_scale_traffic(cfg);
+  cfg.mode = scenario::TrafficMode::Packet;
+  const auto packet = scenario::run_scale_traffic(cfg);
+
+  ASSERT_EQ(fluid.completed, cfg.n_ues);
+  ASSERT_EQ(packet.completed, cfg.n_ues);
+  // Same flows, both complete: byte totals and billing must match exactly.
+  EXPECT_DOUBLE_EQ(fluid.delivered_bytes, packet.delivered_bytes);
+  EXPECT_DOUBLE_EQ(fluid.billing_usd, packet.billing_usd);
+  // Completion-time agreement: fluid skips handshake + slow start (~5 RTTs
+  // on these flows), so the tolerance is behavioral, not numerical.
+  EXPECT_NEAR(fluid.completion_mean_s, packet.completion_mean_s,
+              0.15 * packet.completion_mean_s);
+  EXPECT_NEAR(fluid.completion_p99_s, packet.completion_p99_s,
+              0.25 * packet.completion_p99_s);
+}
+
+TEST(ScaleTraffic, ContendedCellBytesStillExact) {
+  // Under cell contention the timing models legitimately diverge, but byte
+  // totals, billing, and the conservation ledger must stay exact.
+  const std::uint64_t seed = cb::test::seed_or(3);
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  auto cfg = small_config(seed);
+  cfg.mode = scenario::TrafficMode::Fluid;
+  const auto fluid = scenario::run_scale_traffic(cfg);
+  cfg.mode = scenario::TrafficMode::Packet;
+  const auto packet = scenario::run_scale_traffic(cfg);
+  ASSERT_EQ(fluid.completed, cfg.n_ues);
+  ASSERT_EQ(packet.completed, cfg.n_ues);
+  EXPECT_DOUBLE_EQ(fluid.delivered_bytes, packet.delivered_bytes);
+  EXPECT_DOUBLE_EQ(fluid.billing_usd, packet.billing_usd);
+  EXPECT_NEAR(fluid.delivered_bytes, fluid.segment_bytes, 1.0);
+}
+
+TEST(ScaleTraffic, HybridFaultDemotesAndRepromotesByteExact) {
+  // A chaos fault mid-transfer demotes the faulted cell's flows to packet
+  // lanes; after the window they re-promote and every flow still completes
+  // with delivered == demand — byte-exact against a pure-fluid run of the
+  // same seed (the fidelity boundary must not create or destroy bytes).
+  const std::uint64_t seed = cb::test::seed_or(5);
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  auto cfg = small_config(seed);
+  cfg.mode = scenario::TrafficMode::Hybrid;
+  cfg.fault_start_s = 3.0;
+  cfg.fault_duration_s = 5.0;
+  cfg.fault_cell = 0;
+  const auto hybrid = scenario::run_scale_traffic(cfg);
+  EXPECT_EQ(hybrid.completed, cfg.n_ues);
+  EXPECT_GT(hybrid.demotions, 0u);
+  EXPECT_GT(hybrid.promotions + /*finished inside window*/ 0u, 0u);
+  EXPECT_EQ(hybrid.negative_residuals, 0u);
+  // Conservation across the boundary: every delivered byte is either a
+  // fluid segment or a packet-lane byte, never both.
+  EXPECT_NEAR(hybrid.delivered_bytes, hybrid.segment_bytes + hybrid.packet_ledger_bytes, 1.0);
+
+  auto pure = small_config(seed);
+  pure.mode = scenario::TrafficMode::Fluid;
+  const auto fluid = scenario::run_scale_traffic(pure);
+  // Same workload, same total bytes — the fault changes *when*, not *what*.
+  EXPECT_DOUBLE_EQ(hybrid.delivered_bytes, fluid.delivered_bytes);
+  EXPECT_DOUBLE_EQ(hybrid.billing_usd, fluid.billing_usd);
+  // And the hybrid run is deterministic too.
+  const auto again = scenario::run_scale_traffic(cfg);
+  EXPECT_EQ(hybrid.fingerprint(), again.fingerprint());
+}
+
+TEST(ScaleTraffic, PacketModeRefusesAbsurdN) {
+  scenario::ScaleTrafficConfig cfg;
+  cfg.mode = scenario::TrafficMode::Packet;
+  cfg.n_ues = 100000;
+  EXPECT_THROW(scenario::ScaleTrafficSim s(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cb::traffic

@@ -1,0 +1,48 @@
+// Scale-labeled traffic checks (`ctest -L scale`): mid-size fluid runs that
+// gate the event-budget and memory properties behind the 100k-1M-UE claim.
+// Kept out of the default unit tier — tools/ci.sh runs them in the Release
+// leg only (they are too slow for the sanitizer leg).
+#include <gtest/gtest.h>
+
+#include "scenario/scale_traffic.hpp"
+#include "test_seed.hpp"
+#include "traffic/arena.hpp"
+
+namespace cb::traffic {
+namespace {
+
+TEST(ScaleCurve, FluidEventCountScalesWithRateChanges) {
+  scenario::ScaleTrafficConfig cfg;
+  cfg.mode = scenario::TrafficMode::Fluid;
+  cfg.n_ues = 5000;
+  cfg.seed = cb::test::seed_or(13);
+  cfg.mean_flow_mbytes = 5.0;
+  cfg.start_window_s = 10.0;
+  cfg.horizon_s = 3600.0;
+  const auto r = scenario::run_scale_traffic(cfg);
+  EXPECT_EQ(r.completed, cfg.n_ues);
+  // Events per flow must be O(flows-per-cell), not O(packets): a 5 MB flow
+  // is ~3.6k packets; fluid must be orders of magnitude below that.
+  EXPECT_LT(static_cast<double>(r.events) / cfg.n_ues, 64.0);
+  EXPECT_EQ(r.negative_residuals, 0u);
+}
+
+TEST(ScaleCurve, ArenaWorkingSetStaysCacheResident) {
+  // 100k sessions must fit the SoA budget: < 100 B per session, so the whole
+  // working set is ~8 MB — inside L2/L3 on any bench machine.
+  scenario::ScaleTrafficConfig cfg;
+  cfg.mode = scenario::TrafficMode::Fluid;
+  cfg.n_ues = 100000;
+  cfg.seed = cb::test::seed_or(17);
+  cfg.mean_flow_mbytes = 1.0;
+  cfg.start_window_s = 20.0;
+  cfg.horizon_s = 7200.0;
+  const auto r = scenario::run_scale_traffic(cfg);
+  EXPECT_EQ(r.completed, cfg.n_ues);
+  EXPECT_LT(SessionArena::bytes_per_session(), 100u);
+  EXPECT_LT(r.arena_bytes, 10u * 1024 * 1024);
+  EXPECT_EQ(r.negative_residuals, 0u);
+}
+
+}  // namespace
+}  // namespace cb::traffic

@@ -56,7 +56,10 @@ fi
   --benchmark_out_format=json >/dev/null
 
 # --- User-scale macrobench (emits its own JSON) ------------------------------
-SCALE_ARGS=(--json "$TMP/scale.json")
+# --fluid adds the hybrid-engine scale curve (1k/10k/100k UEs fluid mode)
+# and the packet-vs-fluid agreement gate; the binary exits nonzero if the
+# two fidelity modes disagree, which fails this script under `set -e`.
+SCALE_ARGS=(--fluid --json "$TMP/scale.json")
 if [[ "$SMOKE" == 1 ]]; then SCALE_ARGS+=(--smoke); fi
 "$SCALE_BIN" "${SCALE_ARGS[@]}" >/dev/null
 
@@ -117,22 +120,40 @@ instrumentation = {
 print("instrumentation overhead: %.2f%% (enabled %.3fs vs disabled %.3fs)"
       % (overhead_pct, on, off))
 
+# The agreement gate is the CI hard stop for the fluid model: both fidelity
+# modes must agree byte-exactly on delivered bytes + billing and within the
+# documented completion-time tolerance (EXPERIMENTS.md "scale curve").
+agreement = scale_raw["agreement"]
+curve = scale_raw["scale_curve"]
+assert agreement["pass"], f"packet-vs-fluid agreement FAILED: {agreement}"
+for p in curve:
+    assert p["completed"] == p["n_ues"], f"scale curve point incomplete: {p}"
+    for k in ("wall_s", "sim_s", "sim_per_wall", "peak_rss_mb", "events"):
+        assert k in p, f"scale curve point missing {k}: {p}"
+
 scale = {
     "bench": "scale_users",
     "mode": scale_raw["mode"],
     "baseline": {"wall_s": SCALE_BASE_WALL_S,
                  "label": "pre-PR3 (sequential, deep-copy packets)"},
-    "current": {"wall_s": scale_raw["wall_s"], "threads": scale_raw["threads"]},
+    # wall_s is the attach-storm sweep only, comparable with the frozen
+    # baseline; the fluid axis is timed separately (fluid_wall_s).
+    "current": {"wall_s": scale_raw["wall_s"], "threads": scale_raw["threads"],
+                "thread_pool": scale_raw["thread_pool"],
+                "fluid_wall_s": scale_raw["fluid_wall_s"]},
     "speedup": {"wall": round(SCALE_BASE_WALL_S / scale_raw["wall_s"], 2)},
     "instrumentation": instrumentation,
     "points": scale_raw["points"],
+    "scale_curve": curve,
+    "agreement": agreement,
     # Deterministic obs snapshot of the run (see DESIGN.md §9): SAP latency
     # histograms, attach/report counters, flight-recorder fingerprint.
     "metrics": scale_raw["metrics"],
 }
 json.dump(scale, open("BENCH_scale.json", "w"), indent=2)
-print("BENCH_scale.json: wall %.2fs (%.1fx)" % (scale_raw["wall_s"],
-      SCALE_BASE_WALL_S / scale_raw["wall_s"]))
+print("BENCH_scale.json: wall %.2fs (%.1fx), fluid curve %.2fs to %dk UEs"
+      % (scale_raw["wall_s"], SCALE_BASE_WALL_S / scale_raw["wall_s"],
+         scale_raw["fluid_wall_s"], curve[-1]["n_ues"] // 1000))
 
 if overhead_pct > 5.0:
     sys.exit("FAIL: instrumentation overhead %.2f%% exceeds the 5%% budget"

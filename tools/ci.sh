@@ -16,25 +16,38 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_suite() {
-  local build_dir="$1"
-  shift
+  local build_dir="$1" exclude="$2"
+  shift 2
   cmake -B "$build_dir" -S . "$@"
   cmake --build "$build_dir" -j "$(nproc)"
-  # Tests are labeled unit / property / fuzz (ctest -L <tier> selects one).
-  # The fuzz corpus is excluded here and run in its own leg below, where a
-  # violation also produces a shrunk repro file instead of a bare failure.
-  ctest --test-dir "$build_dir" --output-on-failure -LE fuzz
+  # Tests are labeled unit / property / fuzz / scale (ctest -L <tier>
+  # selects one). The fuzz corpus is excluded here and run in its own leg
+  # below, where a violation also produces a shrunk repro file instead of a
+  # bare failure. The scale-labeled mid-size fluid runs are Release-only —
+  # far too slow under the sanitizers.
+  ctest --test-dir "$build_dir" --output-on-failure -LE "$exclude"
 }
 
 echo "=== sanitized build (Debug, address,undefined, leaks on) ==="
 if [[ "${1:-}" != "--skip-sanitized" ]]; then
-  run_suite build-asan -DCMAKE_BUILD_TYPE=Debug -DCB_SANITIZE=address,undefined
+  run_suite build-asan 'fuzz|scale' -DCMAKE_BUILD_TYPE=Debug -DCB_SANITIZE=address,undefined
 else
   echo "skipped (--skip-sanitized)"
 fi
 
-echo "=== release build ==="
-run_suite build -DCMAKE_BUILD_TYPE=Release
+echo "=== release build (incl. scale-labeled fluid tests) ==="
+run_suite build fuzz -DCMAKE_BUILD_TYPE=Release
+
+echo "=== packet-vs-fluid agreement gate (Release) ==="
+# The hybrid traffic engine's correctness contract (DESIGN.md §11): the same
+# seeded workload through fluid and packet fidelity must agree byte-exactly
+# on delivered bytes + billing and within tolerance on completion times.
+# The bench exits nonzero on disagreement — a hard CI failure.
+build/bench/bench_scale_users --smoke --fluid --no-metrics >/dev/null || {
+  echo "agreement gate FAILED — rerun: build/bench/bench_scale_users --smoke --fluid"
+  exit 1
+}
+echo "agreement gate ok"
 
 echo "=== fuzz smoke (64-seed corpus, shrink-on-fail) ==="
 # Full 64 seeds on the release binary; a front slice of the same corpus on
@@ -59,11 +72,23 @@ sap = json.load(open("BENCH_sap.json"))
 scale = json.load(open("BENCH_scale.json"))
 for doc, keys in ((sap, ("bench", "mode", "baseline", "current", "speedup")),
                   (scale, ("bench", "mode", "baseline", "current", "speedup",
-                           "instrumentation", "points", "metrics"))):
+                           "instrumentation", "points", "scale_curve",
+                           "agreement", "metrics"))):
     missing = [k for k in keys if k not in doc]
     assert not missing, f"{doc.get('bench')}: missing keys {missing}"
 assert sap["bench"] == "sap_crypto" and scale["bench"] == "scale_users"
-assert all(k in scale["points"][0] for k in ("n_ues", "arch", "loss", "mean_ms", "p99_ms", "completed"))
+assert all(k in scale["points"][0] for k in ("n_ues", "arch", "loss", "mean_ms",
+                                             "p99_ms", "completed", "wall_s",
+                                             "sim_s", "sim_per_wall"))
+
+# Fluid scale curve + agreement gate (DESIGN.md §11): every point complete,
+# wall/sim/RSS reported, and the two fidelity modes in agreement.
+assert scale["current"]["threads"] >= 1 and "fluid_wall_s" in scale["current"]
+for p in scale["scale_curve"]:
+    assert p["completed"] == p["n_ues"], f"incomplete scale point: {p}"
+    assert all(k in p for k in ("wall_s", "sim_s", "sim_per_wall",
+                                "peak_rss_mb", "events", "rate_events"))
+assert scale["agreement"]["pass"], f"agreement gate failed: {scale['agreement']}"
 
 # Observability snapshot schema (DESIGN.md §9): the four sections, the SAP
 # latency histogram with its full summary tuple, the attach + report-
