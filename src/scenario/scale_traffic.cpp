@@ -266,11 +266,10 @@ void ScaleTrafficSim::schedule_shaper_resample(std::uint32_t ue) {
   impl_->sim.schedule(Duration::seconds(config_.shaper_resample_s), [this, ue] {
     if (arena_.mode(ue) == traffic::FlowMode::Done) return;
     const double cap = impl_->policy.sample(impl_->shaper_rngs[ue]);
-    if (arena_.mode(ue) == traffic::FlowMode::Fluid) {
-      fluid_->set_flow_cap(ue, cap * config_.goodput_efficiency);
-    } else {
-      arena_.cap_bps(ue) = cap * config_.goodput_efficiency;
-    }
+    // A cap change is a rate-change point for ghosts too: set_flow_cap only
+    // writes the arena cap and reallocates the cell, which is valid for
+    // Packet-mode members and republishes the mirrored lane share.
+    fluid_->set_flow_cap(ue, cap * config_.goodput_efficiency);
     schedule_shaper_resample(ue);
   });
 }
@@ -326,7 +325,9 @@ void ScaleTrafficSim::demote_to_lane(traffic::SessionId id) {
     const std::string tag = std::to_string(idx);
     lane->srv = im.net->add_node("lane-srv-" + tag);
     lane->ue = im.net->add_node("lane-ue-" + tag);
-    lane->link = im.net->connect(lane->srv, lane->ue, net::LinkParams{0.0, kLaneDelay});
+    // Floored rate, never 0: rate_bps == 0 means infinite (link.hpp), and a
+    // lane must never run faster than its ghost share says.
+    lane->link = im.net->connect(lane->srv, lane->ue, net::LinkParams{1.0, kLaneDelay});
     lane->srv_addr = im.net->alloc_address(10);
     lane->ue_addr = im.net->alloc_address(20);
     im.net->register_address(lane->srv_addr, lane->srv);
@@ -351,6 +352,14 @@ void ScaleTrafficSim::demote_to_lane(traffic::SessionId id) {
   // on the lane link; demote() then returns the byte-exact residual.
   const double residual = fluid_->demote(id);
   const std::uint64_t residual_bytes = static_cast<std::uint64_t>(std::ceil(residual));
+
+  // Set the lane rate unconditionally from the post-demote ghost share: the
+  // on_rate_share callback fires only when the share *changes*, so a zero
+  // share (full-outage fault) on a fresh lane, or a reused lane carrying the
+  // previous tenant's rate, would otherwise go unthrottled.
+  net::LinkParams lp = lane.link->params(lane.srv);
+  lp.rate_bps = std::max(arena_.rate_bps(id) / config_.goodput_efficiency, 1.0);
+  lane.link->set_params(lane.srv, lp);
 
   lane.srv_stack->listen(lane.port, [this, idx](std::shared_ptr<transport::TcpSocket> s) {
     Lane& l = *impl_->lanes[idx];

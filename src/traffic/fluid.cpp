@@ -73,6 +73,11 @@ double FluidEngine::demote(SessionId id) {
 
 void FluidEngine::promote(SessionId id) {
   assert(arena_.mode(id) == FlowMode::Packet);
+  // Bank the cell while the flow is still a ghost, mirroring demote(): the
+  // ghost carries a nonzero published share, and accruing after the mode
+  // flip would credit that share over the packet window as fluid segments —
+  // bytes the lane already delivered via TCP.
+  accrue_cell(cells_[arena_.cell(id)]);
   arena_.mode(id) = FlowMode::Fluid;
   ++active_fluid_;
   ++promotions_;

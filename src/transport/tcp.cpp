@@ -365,8 +365,11 @@ void TcpSocket::try_send() {
     // immediately, which produces an equally small ACK) and wastes ~20% of a
     // bottleneck link on headers. Data-limited small writes (signaling,
     // request/response apps) still go out immediately, and a drained flight
-    // always permits a send, so progress is never deadlocked.
-    if (len < config_.mss && len < unsent && flight > 0) break;
+    // always permits a send, so progress is never deadlocked. Gate on the
+    // window residual, not len: a segment clamped sub-MSS by the sacked_
+    // boundary (a hole in front of sacked data during a post-RTO walk) must
+    // go out now, not wait for the flight to drain.
+    if (usable - flight < config_.mss && len < unsent && flight > 0) break;
     send_segment(snd_nxt_, len, /*fin=*/false);
     snd_nxt_ += static_cast<std::uint32_t>(len);
     sent_anything = true;

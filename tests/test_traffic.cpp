@@ -146,6 +146,41 @@ TEST(Fluid, GhostReservationConservesCellCapacity) {
   EXPECT_DOUBLE_EQ(arena.residual_bytes(0), 1e9 - 5e6);
 }
 
+TEST(Fluid, PromoteAfterPacketWindowDoesNotDoubleCount) {
+  // Regression: promote() must accrue the cell BEFORE flipping the mode back
+  // to Fluid. Sim time advances between demote and promote here — if the
+  // accrual runs after the flip, the ghost's nonzero share over the packet
+  // window is banked again as fluid segments on top of the lane's TCP bytes.
+  sim::Simulator sim(1);
+  SessionArena arena(2);
+  FluidEngine eng(sim, arena);
+  const std::uint32_t cell = eng.add_cell(20e6);
+  arena.create(cell, 1.0f, 0.0);
+  arena.create(cell, 1.0f, 0.0);
+  eng.start_flow(0, 100e6);
+  eng.start_flow(1, 1e9);
+  double packet_bytes = 0.0;
+  sim.schedule(Duration::seconds(1.0), [&] { eng.demote(0); });
+  sim.schedule(Duration::seconds(3.0), [&] {
+    // The lane delivered 2 s at the 10 Mb/s ghost share; the caller banks it.
+    packet_bytes = 2.0 * 10e6 / 8.0;
+    arena.delivered_bytes(0) += packet_bytes;
+    eng.promote(0);
+    // Segments so far: 1 s of flow 0 pre-demote + 3 s of flow 1, all at
+    // 10 Mb/s — the packet window contributes zero fluid segments.
+    EXPECT_NEAR(eng.segment_bytes(), 4.0 * 10e6 / 8.0, 1.0);
+    EXPECT_NEAR(arena.delivered_bytes(0), 1.25e6 + packet_bytes, 1.0);
+  });
+  sim.run();
+  EXPECT_EQ(arena.mode(0), FlowMode::Done);
+  EXPECT_EQ(arena.mode(1), FlowMode::Done);
+  EXPECT_DOUBLE_EQ(arena.delivered_bytes(0), 100e6);
+  // Conservation across the boundary: every delivered byte is either a fluid
+  // segment or a packet byte, never both.
+  const double delivered = arena.delivered_bytes(0) + arena.delivered_bytes(1);
+  EXPECT_NEAR(eng.segment_bytes() + packet_bytes, delivered, 1.0);
+}
+
 // --- scenario-level properties ---------------------------------------------
 
 scenario::ScaleTrafficConfig small_config(std::uint64_t seed) {
@@ -263,6 +298,32 @@ TEST(ScaleTraffic, HybridFaultDemotesAndRepromotesByteExact) {
   // And the hybrid run is deterministic too.
   const auto again = scenario::run_scale_traffic(cfg);
   EXPECT_EQ(hybrid.fingerprint(), again.fingerprint());
+}
+
+TEST(ScaleTraffic, FullOutageThrottlesLanes) {
+  // fault_capacity_factor == 0 computes a zero ghost share, which the
+  // change-only on_rate_share callback never publishes (demote() zeroes the
+  // arena rate first). The lane link must still be pinned to the floored
+  // rate — not left at 0, which a Link treats as infinite — so demoted flows
+  // cannot finish inside the outage window.
+  const std::uint64_t seed = cb::test::seed_or(5);
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  auto cfg = small_config(seed);
+  cfg.mode = scenario::TrafficMode::Hybrid;
+  cfg.fault_start_s = 1.0;
+  cfg.fault_duration_s = 5.0;
+  cfg.fault_cell = 0;
+  cfg.fault_capacity_factor = 0.0;
+  scenario::ScaleTrafficSim sim(cfg);
+  const auto r = sim.run_to_completion();
+  EXPECT_EQ(r.completed, cfg.n_ues);
+  EXPECT_GT(r.demotions, 0u);
+  const auto& arena = sim.arena();
+  for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(cfg.n_ues); ++i) {
+    const double finish_s = static_cast<double>(arena.finish_ns(i)) / 1e9;
+    if (arena.cell(i) != 0 || finish_s <= cfg.fault_start_s) continue;
+    EXPECT_GE(finish_s, cfg.fault_start_s + cfg.fault_duration_s) << "ue=" << i;
+  }
 }
 
 TEST(ScaleTraffic, PacketModeRefusesAbsurdN) {
