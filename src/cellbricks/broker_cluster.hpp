@@ -1,0 +1,320 @@
+// Sharded broker cluster (DESIGN.md §12): N broker shards own disjoint
+// subscriber-bucket ranges via rendezvous hashing and replicate a shared
+// append-only settlement log (settlement_log.hpp) so report pairing,
+// verdicts, and reputation survive any single shard's crash.
+//
+// Protocol sketch (single-decree, leader-per-entry over the ACKed UDP
+// transport — the author of an entry is its leader):
+//   * Every shard authors to its own stream and pushes Append messages to
+//     all peers, retransmitting until each live peer AppendAcks. An entry is
+//     COMMITTED once every currently-live peer has stored it; client-visible
+//     effects (AuthOk, ReportAck) are withheld until commit, so an acked
+//     verdict can never be lost to a single crash.
+//   * Heartbeats double as the failure detector and the anti-entropy
+//     vector: they advertise per-stream applied lengths, and a peer that is
+//     behind issues Fetch -> Chunk catch-up reads. This one mechanism covers
+//     both dead-author partial replication and post-restart recovery.
+//   * Bucket ownership = hrw_owner over the live+ready shard set. Owners
+//     pair reports inside the log fold (so takeover re-drives pairing
+//     straight from the replica) and expire unpaired reports from the
+//     *logged* ingest time. Brief double-ownership windows are harmless:
+//     verdict content is deterministic and the fold dedups on apply.
+//   * A restarted shard comes back empty, authors to a FRESH stream (no
+//     index reuse), and stays in `recovering` — acking replication but
+//     ignoring clients — until it has caught up with every live peer.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "cellbricks/brokerd.hpp"
+#include "cellbricks/settlement_log.hpp"
+
+namespace cb::cellbricks {
+
+/// UDP port for shard<->shard replication traffic (client traffic stays on
+/// kBrokerPort).
+inline constexpr std::uint16_t kBrokerClusterPort = 4501;
+
+/// Inter-shard wire messages on kBrokerClusterPort.
+enum class ClusterMsg : std::uint8_t {
+  Append = 1,     // u16 stream, u64 index, bytes entry
+  AppendAck = 2,  // u16 acker, u16 stream, u64 index
+  Heartbeat = 3,  // u16 sender, u8 ready, u16 n_streams, n x u64 applied_len
+  Fetch = 4,      // u16 requester, u16 stream, u64 from_index
+  Chunk = 5,      // u16 stream, u64 start, u16 count, count x bytes entry
+};
+
+/// Client-side shard map: static endpoints, redirect-learned bucket
+/// overrides, and a timeout-driven suspect list so retries fail over instead
+/// of hammering a dead endpoint.
+class ShardRouter {
+ public:
+  struct Config {
+    /// Consecutive timeouts before an endpoint is marked suspect.
+    int suspect_after = 2;
+    /// How long a suspect endpoint is avoided before being retried.
+    Duration suspect_hold = Duration::s(3);
+  };
+
+  explicit ShardRouter(std::vector<net::EndPoint> shards);
+  ShardRouter(std::vector<net::EndPoint> shards, Config config);
+
+  std::size_t n_shards() const { return shards_.size(); }
+  const net::EndPoint& endpoint(std::size_t shard) const { return shards_.at(shard); }
+
+  /// Shard to contact for a session-scoped message (reports): the learned
+  /// redirect override if healthy, else rendezvous over non-suspect shards.
+  std::size_t pick_for_session(std::uint64_t session_id, TimePoint now);
+  /// Shard to contact for a new auth (subscriber unknown until the broker
+  /// opens the request): sticky to spread state kindly, skipping suspects.
+  std::size_t pick_for_auth(TimePoint now);
+
+  /// A shard told us who owns `bucket` now (stale-route redirect reply).
+  void learn_redirect(std::uint16_t bucket, std::uint16_t owner);
+  void note_timeout(std::size_t shard, TimePoint now);
+  void note_ok(std::size_t shard);
+
+  bool suspect(std::size_t shard, TimePoint now) const;
+  std::uint64_t redirects_learned() const { return redirects_learned_; }
+
+ private:
+  std::vector<std::size_t> healthy(TimePoint now) const;
+
+  std::vector<net::EndPoint> shards_;
+  Config config_;
+  std::unordered_map<std::uint16_t, std::size_t> overrides_;  // bucket -> shard
+  struct Health {
+    int strikes = 0;
+    TimePoint suspect_until;
+  };
+  std::vector<Health> health_;
+  std::size_t auth_sticky_ = 0;
+  std::uint64_t redirects_learned_ = 0;
+};
+
+class BrokerCluster;
+
+/// One broker shard: client-facing SAP + report ingestion on kBrokerPort
+/// (same wire protocol as Brokerd, plus BrokerMsg::Redirect), replication on
+/// kBrokerClusterPort, and the settlement fold as its only billing state.
+class BrokerShard {
+ public:
+  struct Config {
+    Brokerd::Config broker{};
+    Duration heartbeat_interval = Duration::millis(500);
+    /// Missed heartbeat intervals before a peer is considered dead.
+    int miss_threshold = 3;
+    /// Append retransmission cadence toward unacked peers.
+    Duration append_retry = Duration::millis(250);
+    /// Minimum spacing of Fetch requests per stream (rate-limits catch-up).
+    Duration fetch_cooldown = Duration::millis(200);
+    /// Max entries per Chunk reply.
+    std::size_t chunk_max = 64;
+  };
+
+  BrokerShard(BrokerCluster& cluster, std::size_t index, net::Node& node, SapBroker sap,
+              Config config);
+
+  std::size_t index() const { return index_; }
+  net::Node& node() { return node_; }
+
+  void add_subscriber(const std::string& id_u, crypto::RsaPublicKey key);
+  /// Pre-register a bTelco's report-signing key (normally learned from the
+  /// auth certificate; registered cluster-wide so a report can be verified
+  /// at a shard that never served that bTelco's attach).
+  void add_telco(const std::string& id_t, crypto::RsaPublicKey key);
+  void set_plan(const std::string& id_u, QosInfo qos);
+
+  /// Fault injection: crash wipes the log, fold, and every in-flight
+  /// commit/cache — only the node config and the subscriber DB (durable by
+  /// assumption) survive. Restart re-joins in `recovering` state.
+  void crash();
+  void restart();
+  bool crashed() const { return crashed_; }
+  bool recovering() const { return recovering_; }
+
+  /// Live-shard view from this shard's failure detector (self included only
+  /// when up; peers by heartbeat age). `ready_only` additionally filters to
+  /// peers whose last heartbeat declared them caught up — the ownership set.
+  std::vector<std::size_t> live_view(bool ready_only) const;
+  bool owns_bucket(std::uint16_t bucket) const;
+
+  const SettlementLog& log() const { return log_; }
+  const SettlementState& fold() const { return state_; }
+
+  std::uint64_t sessions_issued() const { return sessions_issued_; }
+  std::uint64_t reports_received() const { return reports_received_; }
+  std::uint64_t reports_rejected() const { return reports_rejected_; }
+  std::uint64_t reports_ingested() const { return reports_ingested_; }
+  std::uint64_t reports_deduped() const { return reports_deduped_; }
+  std::uint64_t redirects_sent() const { return redirects_sent_; }
+  std::uint64_t auth_denied() const { return auth_denied_; }
+  std::uint64_t takeovers() const { return takeovers_; }
+  Duration busy_time() const { return queue_.busy_time(); }
+  std::size_t nonces_seen() const { return sap_.nonces_seen(); }
+
+ private:
+  friend class BrokerCluster;
+
+  // Client path (mirrors Brokerd).
+  void handle_client(const net::Packet& packet);
+  void handle_auth(const net::EndPoint& from, ByteReader& r);
+  void handle_report(const net::EndPoint& from, ByteReader& r);
+  void reply(const net::EndPoint& to, Bytes payload, std::uint16_t src_port = kBrokerPort);
+
+  // Replication path.
+  void handle_cluster(const net::Packet& packet);
+  void on_append(ByteReader& r);
+  void on_append_ack(ByteReader& r);
+  void on_heartbeat(const net::Packet& p, ByteReader& r);
+  void on_fetch(const net::EndPoint& from, ByteReader& r);
+  void on_chunk(ByteReader& r);
+
+  /// Author an entry to this incarnation's stream; `on_commit` fires once
+  /// every currently-live peer acked (immediately when there are none).
+  void author(SettlementEntry entry, std::function<void()> on_commit);
+  void send_append(std::size_t peer, std::size_t stream, std::uint64_t index);
+  void ensure_append_retry();
+  void retry_appends();
+  void check_commit(std::uint64_t index);
+  void send_to_peer(std::size_t peer, Bytes payload);
+
+  /// Fold hook shared by author/store/chunk paths: updates the fold and, if
+  /// this shard owns the entry's bucket, drives pairing.
+  void apply_entry(std::size_t stream, std::uint64_t index, const SettlementEntry& e);
+  void try_pair(std::uint64_t session_id, std::uint32_t period);
+  /// Ownership changed (peer died/joined/recovered): re-drive pairing for
+  /// newly owned buckets from the replica.
+  void redrive_owned_pending();
+
+  void heartbeat_tick();
+  void refresh_ownership();
+  void maybe_finish_recovery();
+  void sweep();
+
+  BrokerCluster& cluster_;
+  std::size_t index_;
+  net::Node& node_;
+  SapBroker sap_;
+  Config config_;
+  sim::ServiceQueue queue_;
+  Rng rng_;
+
+  SettlementLog log_;
+  SettlementState state_;
+
+  std::unordered_map<std::string, crypto::RsaPublicKey> subscriber_keys_;
+  std::unordered_map<std::string, crypto::RsaPublicKey> telco_keys_;
+  std::unordered_map<std::string, QosInfo> plans_;
+
+  // Authoring/commit state. The stream index advances by n_shards per
+  // incarnation so a restarted shard never reuses indices it may have
+  // partially replicated before dying.
+  std::size_t cur_stream_;
+  struct PendingAppend {
+    Bytes entry_wire;
+    std::set<std::size_t> waiting;  // peers not yet acked
+    std::function<void()> on_commit;
+  };
+  std::map<std::uint64_t, PendingAppend> pending_appends_;  // by index in cur_stream_
+  sim::EventHandle append_retry_timer_;
+  /// ReportIngested entries authored but not yet committed: retransmits of
+  /// these must NOT be acked early from the fold's seen-set.
+  std::set<std::tuple<std::uint64_t, std::uint32_t, int>> uncommitted_reports_;
+
+  // Failure detector + anti-entropy state (per peer).
+  struct PeerView {
+    TimePoint last_hb;  // zero = boot grace (assumed live)
+    bool ready = true;
+    std::vector<std::uint64_t> advertised;  // per-stream applied lengths
+  };
+  std::vector<PeerView> peers_;
+  std::unordered_map<std::size_t, TimePoint> fetch_last_;  // per stream, rate limit
+  sim::EventHandle heartbeat_timer_;
+  sim::EventHandle sweep_timer_;
+  std::uint64_t ownership_sig_ = 0;  // hash of last ownership set
+
+  // Client reply caches (same idempotency contract as Brokerd).
+  struct CachedReply {
+    Bytes payload;  // empty while the backing entry awaits commit
+    TimePoint at;
+  };
+  std::map<std::pair<std::uint64_t, std::uint64_t>, CachedReply> auth_reply_cache_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, CachedReply> report_ack_cache_;
+
+  bool crashed_ = false;
+  bool recovering_ = false;
+  std::uint64_t incarnation_ = 0;
+  std::vector<bool> hb_seen_since_restart_;
+
+  std::uint64_t sessions_issued_ = 0;
+  std::uint64_t reports_received_ = 0;
+  std::uint64_t reports_rejected_ = 0;
+  std::uint64_t reports_ingested_ = 0;
+  std::uint64_t reports_deduped_ = 0;
+  std::uint64_t redirects_sent_ = 0;
+  std::uint64_t auth_denied_ = 0;
+  std::uint64_t takeovers_ = 0;
+};
+
+/// The cluster: owns the shards, the client-facing endpoint list, and a
+/// synchronous observer fold of every authored entry — deterministic global
+/// ground truth for invariants and benchmarks that survives shard crashes
+/// (it models the auditor's view, not a networked replica).
+class BrokerCluster {
+ public:
+  explicit BrokerCluster(BrokerShard::Config config)
+      : config_(config), observer_state_(config.broker.reputation) {}
+
+  /// Add one shard hosted on `node`. All shards must share the broker
+  /// keypair/certificate so clients seal to a single broker identity.
+  BrokerShard& add_shard(net::Node& node, SapBroker sap);
+  /// Arm heartbeats (staggered per shard). Call after all add_shard calls.
+  void start();
+
+  std::size_t n_shards() const { return shards_.size(); }
+  BrokerShard& shard(std::size_t i) { return *shards_.at(i); }
+  const BrokerShard& shard(std::size_t i) const { return *shards_.at(i); }
+  const std::vector<net::EndPoint>& client_endpoints() const { return client_eps_; }
+  const std::vector<net::EndPoint>& cluster_endpoints() const { return cluster_eps_; }
+  const BrokerShard::Config& config() const { return config_; }
+
+  /// Cluster-wide registration (broker-issued material, present on every
+  /// shard — the "durable subscriber DB" of DESIGN.md §12).
+  void add_subscriber(const std::string& id_u, crypto::RsaPublicKey key);
+  void add_telco(const std::string& id_t, crypto::RsaPublicKey key);
+  void set_plan(const std::string& id_u, QosInfo qos);
+
+  void crash_shard(std::size_t i) { shards_.at(i)->crash(); }
+  void restart_shard(std::size_t i) { shards_.at(i)->restart(); }
+
+  /// Auditor's fold: applied synchronously at author time, in the global
+  /// deterministic authoring order.
+  const SettlementState& observer() const { return observer_state_; }
+  const SettlementLog& observer_log() const { return observer_log_; }
+
+  // Cluster-wide aggregates (world/chaos/bench accounting).
+  std::uint64_t sessions_issued() const;
+  std::uint64_t reports_ingested() const;
+  std::uint64_t reports_deduped() const;
+  std::uint64_t pairs_compared() const { return observer_state_.verdicts_paired(); }
+  std::uint64_t unpaired_expired() const { return observer_state_.verdicts_missing(); }
+  std::uint64_t redirects_sent() const;
+  std::size_t nonces_seen() const;
+
+ private:
+  friend class BrokerShard;
+  void observe_author(std::size_t stream, std::uint64_t index, const SettlementEntry& e);
+
+  BrokerShard::Config config_;
+  std::vector<std::unique_ptr<BrokerShard>> shards_;
+  std::vector<net::EndPoint> client_eps_;
+  std::vector<net::EndPoint> cluster_eps_;
+  SettlementLog observer_log_;
+  SettlementState observer_state_;
+  bool started_ = false;
+};
+
+}  // namespace cb::cellbricks

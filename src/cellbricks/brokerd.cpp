@@ -135,6 +135,17 @@ void Brokerd::handle_report(const net::EndPoint& from, ByteReader& r) {
   obs::inc(obs::counter("broker.reports.received"));
   const std::uint64_t seq = r.u64();
   const Bytes sealed = r.bytes();
+  // Idempotent retransmission handling — answered before the (expensive)
+  // unseal. Keyed per requester, so a UE's seq space and a bTelco's cannot
+  // collide (both start at 1).
+  const auto ack_key = std::make_pair(
+      static_cast<std::uint64_t>(from.addr.value()) << 16 | from.port, seq);
+  if (auto cached = report_ack_cache_.find(ack_key); cached != report_ack_cache_.end()) {
+    ++report_ack_cache_hits_;
+    obs::inc(obs::counter("broker.reports.ack_cache_hits"));
+    reply(from, cached->second.payload);
+    return;
+  }
   auto opened = sap_.open_box(sealed);
   if (!opened) {
     // No ACK: an in-flight corruption may have mangled the box, in which
@@ -178,8 +189,11 @@ void Brokerd::handle_report(const net::EndPoint& from, ByteReader& r) {
     ByteWriter ack;
     ack.u8(static_cast<std::uint8_t>(BrokerMsg::ReportAck));
     ack.u64(seq);
-    reply(from, ack.take());
-    ingest_report(reporter_id, type, report.value());
+    Bytes ack_payload = ack.take();
+    report_ack_cache_[ack_key] = CachedReply{ack_payload, node_.simulator().now()};
+    ensure_sweeper();
+    reply(from, std::move(ack_payload));
+    ingest_report(reporter_id, type, report.value(), ack_key);
   } catch (const std::out_of_range&) {
     ++reports_rejected_;
     obs::inc(obs::counter("broker.reports.rejected"));
@@ -187,7 +201,8 @@ void Brokerd::handle_report(const net::EndPoint& from, ByteReader& r) {
 }
 
 void Brokerd::ingest_report(const std::string& reporter_id, Reporter type,
-                            const TrafficReport& report) {
+                            const TrafficReport& report,
+                            const std::pair<std::uint64_t, std::uint64_t>& ack_key) {
   auto sit = sessions_.find(report.session_id);
   if (sit == sessions_.end()) {
     ++reports_rejected_;
@@ -224,7 +239,7 @@ void Brokerd::ingest_report(const std::string& reporter_id, Reporter type,
     rec.telco_dl_bytes += report.dl_bytes;
   }
   pending_reports_[{report.session_id, report.period, static_cast<int>(type)}] =
-      PendingReport{report, node_.simulator().now()};
+      PendingReport{report, node_.simulator().now(), ack_key};
   ensure_sweeper();
   compare_if_paired(report.session_id, report.period);
 }
@@ -288,6 +303,10 @@ void Brokerd::sweep() {
     CB_LOG(Info, "brokerd") << "report pair timeout: session " << session_id << " period "
                             << period << " missing "
                             << (missing == Reporter::Ue ? "UE" : "bTelco") << " report";
+    // Evict the cached ack along with the expired report: a late retransmit
+    // must be re-processed against the post-expiry state, not answered from
+    // a cache entry whose decision the missing-counterpart verdict replaced.
+    report_ack_cache_.erase(it->second.ack_key);
     it = pending_reports_.erase(it);
   }
 
@@ -298,8 +317,15 @@ void Brokerd::sweep() {
       ++it;
     }
   }
+  for (auto it = report_ack_cache_.begin(); it != report_ack_cache_.end();) {
+    if (now - it->second.at >= config_.reply_cache_ttl) {
+      it = report_ack_cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 
-  if (!pending_reports_.empty() || !reply_cache_.empty()) {
+  if (!pending_reports_.empty() || !reply_cache_.empty() || !report_ack_cache_.empty()) {
     sweep_timer_ = node_.simulator().schedule(config_.gc_interval, [this] { sweep(); });
   }
 }

@@ -26,6 +26,9 @@ enum class BrokerMsg : std::uint8_t {
   AuthErr = 3,     // u64 txn, str reason
   Report = 4,      // u64 seq, bytes sealed{str reporter_id, u8 type, bytes report, bytes sig}
   ReportAck = 5,   // u64 seq — broker ack for a decoded+authenticated report
+  Redirect = 6,    // u64 seq, u16 bucket, u16 owner — stale-route reply from a
+                   // broker shard that does not own the session's bucket
+                   // (sharded deployments only; see broker_cluster.hpp)
 };
 
 class Brokerd {
@@ -113,6 +116,9 @@ class Brokerd {
   std::uint64_t auth_denied() const { return auth_denied_; }
   std::size_t pending_report_count() const { return pending_reports_.size(); }
   std::size_t reply_cache_size() const { return reply_cache_.size(); }
+  /// Report retransmissions answered from the idempotent ack cache.
+  std::uint64_t report_ack_cache_hits() const { return report_ack_cache_hits_; }
+  std::size_t report_ack_cache_size() const { return report_ack_cache_.size(); }
 
   /// Fig.7 breakdown.
   Duration busy_time() const { return queue_.busy_time(); }
@@ -126,7 +132,8 @@ class Brokerd {
   void handle(const net::Packet& packet);
   void handle_auth(const net::EndPoint& from, ByteReader& r);
   void handle_report(const net::EndPoint& from, ByteReader& r);
-  void ingest_report(const std::string& reporter_id, Reporter type, const TrafficReport& report);
+  void ingest_report(const std::string& reporter_id, Reporter type, const TrafficReport& report,
+                     const std::pair<std::uint64_t, std::uint64_t>& ack_key);
   void compare_if_paired(std::uint64_t session_id, std::uint32_t period);
   void reply(const net::EndPoint& to, Bytes payload);
   void ensure_sweeper();
@@ -148,6 +155,9 @@ class Brokerd {
   struct PendingReport {
     TrafficReport report;
     TimePoint received_at;
+    /// (requester, seq) key of this report's ack-cache entry, so pair-expiry
+    /// can evict the cached ack along with the pending report.
+    std::pair<std::uint64_t, std::uint64_t> ack_key{0, 0};
   };
   std::map<std::tuple<std::uint64_t, std::uint32_t, int>, PendingReport> pending_reports_;
 
@@ -159,6 +169,11 @@ class Brokerd {
     TimePoint at;
   };
   std::map<std::pair<std::uint64_t, std::uint64_t>, CachedReply> reply_cache_;
+  /// Report ACKs cached per (requester, seq). Evicted on TTL AND when the
+  /// backing pending report expires unpaired: a retransmit arriving after
+  /// the expiry verdict must be re-processed (and re-judged), not answered
+  /// from a cache whose decision the sweeper has since superseded.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, CachedReply> report_ack_cache_;
   sim::EventHandle sweep_timer_;
 
   Duration sap_busy_ = Duration::zero();
@@ -170,6 +185,7 @@ class Brokerd {
   std::uint64_t unpaired_expired_ = 0;
   std::uint64_t pairs_compared_total_ = 0;
   std::uint64_t auth_denied_ = 0;
+  std::uint64_t report_ack_cache_hits_ = 0;
 };
 
 }  // namespace cb::cellbricks

@@ -3,10 +3,23 @@
 #include <algorithm>
 #include <vector>
 
+#include "cellbricks/broker_cluster.hpp"
 #include "common/log.hpp"
 #include "obs/metrics.hpp"
 
 namespace cb::cellbricks {
+
+namespace {
+
+/// Decorrelated-jitter backoff (see ue_agent.cpp): next delay uniform in
+/// [base, 3 * previous], capped.
+Duration decorrelated_backoff(Rng& rng, Duration base, Duration prev, Duration cap) {
+  const double base_s = base.to_seconds();
+  const double hi_s = std::max(base_s, prev.to_seconds() * 3.0);
+  return std::min(Duration::seconds(rng.uniform(base_s, hi_s)), cap);
+}
+
+}  // namespace
 
 Btelco::Btelco(net::Network& network, net::Node& node, SapTelco sap,
                crypto::Certificate broker_cert, net::EndPoint broker_endpoint)
@@ -22,7 +35,8 @@ Btelco::Btelco(net::Network& network, net::Node& node, SapTelco sap,
       broker_(broker_endpoint),
       config_(config),
       queue_(node.simulator()),
-      rng_(node.simulator().rng().fork(0xB7E1C0)) {
+      rng_(node.simulator().rng().fork(0xB7E1C0)),
+      jitter_rng_(node.simulator().rng().fork(0xB7E1C1)) {
   port_ = node_.alloc_port();
   node_.bind_udp(port_, [this](const net::Packet& p) {
     if (crashed_) return;
@@ -34,10 +48,25 @@ Btelco::Btelco(net::Network& network, net::Node& node, SapTelco sap,
         handle_report_ack(txn);
         return;
       }
+      if (type == BrokerMsg::Redirect) {
+        const std::uint16_t bucket = r.u16();
+        const std::uint16_t owner = r.u16();
+        handle_redirect(txn, bucket, owner);  // txn slot carries the seq
+        return;
+      }
       auto it = awaiting_broker_.find(txn);
       if (it == awaiting_broker_.end()) return;
       auto continuation = std::move(it->second);
       awaiting_broker_.erase(it);
+      // An answer from any shard clears its suspect strikes.
+      if (router_ != nullptr) {
+        for (std::size_t i = 0; i < router_->n_shards(); ++i) {
+          if (router_->endpoint(i) == p.src) {
+            router_->note_ok(i);
+            break;
+          }
+        }
+      }
       if (type == BrokerMsg::AuthOk) {
         continuation(r);
       } else {
@@ -100,7 +129,8 @@ void Btelco::handle_attach(Bytes auth_req_u, net::Node* ue_node, net::Link* radi
   });
 }
 
-void Btelco::send_to_broker_with_retry(std::uint64_t txn, Bytes payload, int attempts_left) {
+void Btelco::send_to_broker_with_retry(std::uint64_t txn, Bytes payload, int attempts_left,
+                                       int prev_shard) {
   if (!awaiting_broker_.contains(txn)) return;  // answered meanwhile
   if (attempts_left <= 0) {
     auto it = awaiting_broker_.find(txn);
@@ -110,15 +140,25 @@ void Btelco::send_to_broker_with_retry(std::uint64_t txn, Bytes payload, int att
     continuation(empty);  // empty reader = denial/failure path
     return;
   }
+  net::EndPoint dst = broker_;
+  int shard = prev_shard;
+  if (router_ != nullptr) {
+    const TimePoint now = node_.simulator().now();
+    // Reaching here with a previous target means it never answered: strike
+    // it so the sticky auth choice rotates to a live shard.
+    if (prev_shard >= 0) router_->note_timeout(static_cast<std::size_t>(prev_shard), now);
+    shard = static_cast<int>(router_->pick_for_auth(now));
+    dst = router_->endpoint(static_cast<std::size_t>(shard));
+  }
   net::Packet p;
   p.src = net::EndPoint{node_.primary_address(), port_};
-  p.dst = broker_;
+  p.dst = dst;
   p.proto = net::Proto::Udp;
   p.payload = payload;
   node_.send(std::move(p));
   node_.simulator().schedule(config_.broker_retry,
-                             [this, txn, payload = std::move(payload), attempts_left] {
-                               send_to_broker_with_retry(txn, payload, attempts_left - 1);
+                             [this, txn, payload = std::move(payload), attempts_left, shard] {
+                               send_to_broker_with_retry(txn, payload, attempts_left - 1, shard);
                              });
 }
 
@@ -217,6 +257,7 @@ void Btelco::send_report(std::uint64_t session_id, bool final_report) {
   w.bytes(sealed);
   OutstandingReport& out = outstanding_reports_[seq];
   out.wire = w.take();
+  out.session_id = report.session_id;
   out.attempts_left = config_.report_attempts;
   out.next_delay = config_.report_retry;
   obs::inc(obs::counter("btelco.reports.sent"));
@@ -243,24 +284,51 @@ void Btelco::transmit_report(std::uint64_t seq) {
   }
   --out.attempts_left;
   obs::inc(obs::counter("btelco.reports.tx"));
+  net::EndPoint dst = broker_;
+  if (router_ != nullptr) {
+    const TimePoint now = node_.simulator().now();
+    if (out.sent_once) router_->note_timeout(out.last_shard, now);
+    out.last_shard = router_->pick_for_session(out.session_id, now);
+    dst = router_->endpoint(out.last_shard);
+  }
+  out.sent_once = true;
   net::Packet p;
   p.src = net::EndPoint{node_.primary_address(), port_};
-  p.dst = broker_;
+  p.dst = dst;
   p.proto = net::Proto::Udp;
   p.payload = out.wire;
   node_.send(std::move(p));
   out.timer =
       node_.simulator().schedule(out.next_delay, [this, seq] { transmit_report(seq); });
-  out.next_delay = std::min(out.next_delay * 2, Duration::s(30));
+  out.next_delay =
+      decorrelated_backoff(jitter_rng_, config_.report_retry, out.next_delay, Duration::s(30));
 }
 
 void Btelco::handle_report_ack(std::uint64_t seq) {
   auto it = outstanding_reports_.find(seq);
   if (it == outstanding_reports_.end()) return;
+  if (router_ != nullptr && it->second.sent_once) router_->note_ok(it->second.last_shard);
   it->second.timer.cancel();
   outstanding_reports_.erase(it);
   obs::inc(obs::counter("btelco.reports.acked"));
   obs::trace(node_.simulator().now(), obs::TraceType::ReportAck, seq);
+}
+
+void Btelco::handle_redirect(std::uint64_t seq, std::uint16_t bucket, std::uint16_t owner) {
+  if (router_ == nullptr) return;
+  router_->learn_redirect(bucket, owner);
+  auto it = outstanding_reports_.find(seq);
+  if (it == outstanding_reports_.end()) return;
+  OutstandingReport& out = it->second;
+  // The shard answered (healthy, just not the owner): clear its strikes,
+  // refresh the retry budget, and resend to the owner immediately.
+  router_->note_ok(out.last_shard);
+  out.timer.cancel();
+  out.attempts_left = config_.report_attempts;
+  out.next_delay = config_.report_retry;
+  out.sent_once = false;
+  obs::inc(obs::counter("btelco.reports.redirected"));
+  transmit_report(seq);
 }
 
 void Btelco::handle_detach(std::uint64_t session_id) {

@@ -21,6 +21,8 @@
 
 namespace cb::cellbricks {
 
+class ShardRouter;
+
 class Btelco {
  public:
   struct Config {
@@ -64,6 +66,12 @@ class Btelco {
   /// UE-initiated detach: finalize accounting, send the final report, and
   /// release the session.
   void handle_detach(std::uint64_t session_id);
+
+  /// Sharded-broker deployments: route auth requests and reports through
+  /// the shard map (auth sticky, reports by session id), follow Redirect
+  /// replies, and fail over on retransmission timeouts. Unset = single
+  /// broker endpoint (default).
+  void set_router(ShardRouter* router) { router_ = router; }
 
   /// Fault injection: `crash` kills the provider — the node goes dark, every
   /// session (bearers, IPs, report timers, in-flight broker transactions) is
@@ -122,9 +130,12 @@ class Btelco {
   /// One unACKed traffic report awaiting broker confirmation.
   struct OutstandingReport {
     Bytes wire;  // full broker message: [Report, seq, sealed]
+    std::uint64_t session_id = 0;  // routing key for sharded brokers
     int attempts_left = 0;
     Duration next_delay = Duration::zero();
     sim::EventHandle timer;
+    std::size_t last_shard = 0;  // where the last copy went (router mode)
+    bool sent_once = false;      // a timer-driven resend implies a timeout
   };
 
   void install_session(const TelcoSession& ts, net::Node* ue_node, net::Link* radio_link,
@@ -132,7 +143,9 @@ class Btelco {
   void send_report(std::uint64_t session_id, bool final_report);
   void transmit_report(std::uint64_t seq);
   void handle_report_ack(std::uint64_t seq);
-  void send_to_broker_with_retry(std::uint64_t txn, Bytes payload, int attempts_left);
+  void handle_redirect(std::uint64_t seq, std::uint16_t bucket, std::uint16_t owner);
+  void send_to_broker_with_retry(std::uint64_t txn, Bytes payload, int attempts_left,
+                                 int prev_shard = -1);
   void release_session(std::uint64_t session_id);
   void ensure_gc();
   void gc_sweep();
@@ -147,7 +160,10 @@ class Btelco {
   Config config_;
   sim::ServiceQueue queue_;
   Rng rng_;
+  /// Dedicated stream for retry jitter (see UeAgent::jitter_rng_).
+  Rng jitter_rng_;
   std::uint16_t port_ = 0;
+  ShardRouter* router_ = nullptr;
 
   std::uint64_t next_txn_ = 1;
   std::unordered_map<std::uint64_t, std::function<void(ByteReader&)>> awaiting_broker_;

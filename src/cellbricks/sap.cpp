@@ -184,7 +184,8 @@ bool SapBroker::has_subscriber(const std::string& id_u) const {
 
 Result<BrokerDecision> SapBroker::process_auth_req(
     BytesView auth_req_t, TimePoint now, Rng& rng, const QosInfo& desired_qos,
-    const std::function<bool(const std::string&, const std::string&)>& authorize) {
+    const std::function<bool(const std::string&, const std::string&)>& authorize,
+    const SessionIdTransform& session_id_transform) {
   using R = Result<BrokerDecision>;
   try {
     // Unpack and authenticate the bTelco layer.
@@ -246,6 +247,7 @@ Result<BrokerDecision> SapBroker::process_auth_req(
     d.id_t = id_t;
     d.telco_key = cert_t.key();
     d.session_id = rng.next_u64();
+    if (session_id_transform) d.session_id = session_id_transform(d.session_id, id_u);
     d.ss = rng.random_bytes(32);
     d.qos = QosInfo::negotiate(desired_qos, qos_cap);
 

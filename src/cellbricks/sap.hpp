@@ -155,11 +155,19 @@ class SapBroker {
   /// exceed this (the check layer's nonce-uniqueness invariant).
   std::size_t nonces_seen() const { return seen_nonces_.size(); }
 
+  /// Optional hook applied to the freshly drawn session id before it is
+  /// sealed into the responses. The sharded broker uses it to embed the
+  /// subscriber's routing bucket in the id (settlement_log.hpp); the default
+  /// (empty) leaves the raw random id untouched.
+  using SessionIdTransform =
+      std::function<std::uint64_t(std::uint64_t raw, const std::string& id_u)>;
+
   /// Full Fig.3 broker procedure. `authorize` is the policy hook
   /// (reputation / suspect list); `desired_qos` is the subscriber's plan.
   Result<BrokerDecision> process_auth_req(
       BytesView auth_req_t, TimePoint now, Rng& rng, const QosInfo& desired_qos,
-      const std::function<bool(const std::string& id_u, const std::string& id_t)>& authorize);
+      const std::function<bool(const std::string& id_u, const std::string& id_t)>& authorize,
+      const SessionIdTransform& session_id_transform = {});
 
  private:
   std::string id_b_;

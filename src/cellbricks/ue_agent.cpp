@@ -2,8 +2,25 @@
 
 #include <algorithm>
 
+#include "cellbricks/broker_cluster.hpp"
 #include "common/log.hpp"
 #include "obs/metrics.hpp"
+
+namespace cb::cellbricks {
+namespace {
+
+/// Decorrelated-jitter backoff: next delay drawn uniformly from
+/// [base, 3 * previous], capped. Spreads synchronized retriers (e.g. every
+/// client of a just-killed shard) across the window instead of letting the
+/// deterministic doubling re-align their retry storms.
+Duration decorrelated_backoff(Rng& rng, Duration base, Duration prev, Duration cap) {
+  const double base_s = base.to_seconds();
+  const double hi_s = std::max(base_s, prev.to_seconds() * 3.0);
+  return std::min(Duration::seconds(rng.uniform(base_s, hi_s)), cap);
+}
+
+}  // namespace
+}  // namespace cb::cellbricks
 
 namespace cb::cellbricks {
 
@@ -25,13 +42,21 @@ UeAgent::UeAgent(net::Network& network, net::Node& ue_node, SapUe sap,
       config_(config),
       ue_queue_(ue_node.simulator()),
       enb_queue_(ue_node.simulator()),
-      rng_(ue_node.simulator().rng().fork(0x0EA6)) {
+      rng_(ue_node.simulator().rng().fork(0x0EA6)),
+      jitter_rng_(ue_node.simulator().rng().fork(0x0EA7)) {
   // Broker ACKs for the reliable report channel arrive on the report port.
   ue_node_.bind_udp(kUeReportPort, [this](const net::Packet& p) {
     try {
       ByteReader r(p.payload);
-      if (static_cast<BrokerMsg>(r.u8()) != BrokerMsg::ReportAck) return;
-      handle_report_ack(r.u64());
+      const auto msg = static_cast<BrokerMsg>(r.u8());
+      if (msg == BrokerMsg::ReportAck) {
+        handle_report_ack(r.u64());
+      } else if (msg == BrokerMsg::Redirect) {
+        const std::uint64_t seq = r.u64();
+        const std::uint16_t bucket = r.u16();
+        const std::uint16_t owner = r.u16();
+        handle_redirect(seq, bucket, owner);
+      }
     } catch (const std::out_of_range&) {
       CB_LOG(Warn, "ue-agent") << "malformed broker ack dropped";
     }
@@ -142,7 +167,11 @@ void UeAgent::attach(ran::CellId cell, std::function<void(Result<net::Ipv4Addr>)
                   if (!out.timer.pending()) stranded.push_back(seq);
                 }
                 for (std::uint64_t seq : stranded) {
-                  outstanding_reports_[seq].next_delay = config_.report_retry;
+                  OutstandingReport& out = outstanding_reports_[seq];
+                  out.next_delay = config_.report_retry;
+                  // The silence was our own detach, not the broker's fault:
+                  // don't let the flush strike the last target.
+                  out.sent_once = false;
                   transmit_report(seq);
                 }
 
@@ -218,9 +247,10 @@ void UeAgent::try_attach(ran::CellId preferred) {
 void UeAgent::schedule_retry(ran::CellId preferred) {
   obs::inc(obs::counter("ue_agent.attach.retries"));
   obs::trace(ue_node_.simulator().now(), obs::TraceType::AttachRetry, preferred);
+  recovery_backoff_ = decorrelated_backoff(jitter_rng_, config_.retry_backoff,
+                                           recovery_backoff_, config_.retry_backoff_max);
   recovery_timer_ = ue_node_.simulator().schedule(recovery_backoff_,
                                                   [this, preferred] { try_attach(preferred); });
-  recovery_backoff_ = std::min(recovery_backoff_ * 2, config_.retry_backoff_max);
 }
 
 void UeAgent::start_watchdog() {
@@ -296,6 +326,7 @@ void UeAgent::send_report(bool final_report) {
 
   OutstandingReport& out = outstanding_reports_[seq];
   out.wire = w.take();
+  out.session_id = report.session_id;
   out.attempts_left = config_.report_attempts;
   out.next_delay = config_.report_retry;
   obs::inc(obs::counter("ue_agent.reports.sent"));
@@ -323,24 +354,53 @@ void UeAgent::transmit_report(std::uint64_t seq) {
   }
   --out.attempts_left;
   obs::inc(obs::counter("ue_agent.reports.tx"));
+  net::EndPoint dst = broker_report_ep_;
+  if (router_ != nullptr) {
+    const TimePoint now = ue_node_.simulator().now();
+    // A timer-driven resend means the previous target never answered:
+    // strike it so the router eventually fails the session over.
+    if (out.sent_once) router_->note_timeout(out.last_shard, now);
+    out.last_shard = router_->pick_for_session(out.session_id, now);
+    dst = router_->endpoint(out.last_shard);
+  }
+  out.sent_once = true;
   net::Packet p;
   p.src = net::EndPoint{current_ip_, kUeReportPort};
-  p.dst = broker_report_ep_;
+  p.dst = dst;
   p.proto = net::Proto::Udp;
   p.payload = out.wire;
   ue_node_.send(std::move(p));
   out.timer =
       ue_node_.simulator().schedule(out.next_delay, [this, seq] { transmit_report(seq); });
-  out.next_delay = std::min(out.next_delay * 2, Duration::s(30));
+  out.next_delay =
+      decorrelated_backoff(jitter_rng_, config_.report_retry, out.next_delay, Duration::s(30));
 }
 
 void UeAgent::handle_report_ack(std::uint64_t seq) {
   auto it = outstanding_reports_.find(seq);
   if (it == outstanding_reports_.end()) return;
+  if (router_ != nullptr && it->second.sent_once) router_->note_ok(it->second.last_shard);
   it->second.timer.cancel();
   outstanding_reports_.erase(it);
   obs::inc(obs::counter("ue_agent.reports.acked"));
   obs::trace(ue_node_.simulator().now(), obs::TraceType::ReportAck, seq);
+}
+
+void UeAgent::handle_redirect(std::uint64_t seq, std::uint16_t bucket, std::uint16_t owner) {
+  if (router_ == nullptr) return;
+  router_->learn_redirect(bucket, owner);
+  auto it = outstanding_reports_.find(seq);
+  if (it == outstanding_reports_.end()) return;
+  OutstandingReport& out = it->second;
+  // The shard answered (it is healthy, just not the owner): clear its
+  // strikes, reset this report's retry budget, and resend to the owner now.
+  router_->note_ok(out.last_shard);
+  out.timer.cancel();
+  out.attempts_left = config_.report_attempts;
+  out.next_delay = config_.report_retry;
+  out.sent_once = false;
+  obs::inc(obs::counter("ue_agent.reports.redirected"));
+  transmit_report(seq);
 }
 
 void UeAgent::detach() {

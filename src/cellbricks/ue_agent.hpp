@@ -27,6 +27,8 @@
 
 namespace cb::cellbricks {
 
+class ShardRouter;
+
 /// UDP port the UE agent sources reports from and receives broker ACKs on.
 inline constexpr std::uint16_t kUeReportPort = 4599;
 
@@ -92,6 +94,12 @@ class UeAgent {
   /// Wire the MPTCP path manager notifications.
   void set_mptcp(transport::MptcpStack* mptcp) { mptcp_ = mptcp; }
 
+  /// Sharded-broker deployments: route reports by session id through the
+  /// shard map instead of the fixed broker_report_ep, follow Redirect
+  /// replies, and fail over on retransmission timeouts. Unset = single
+  /// broker (default).
+  void set_router(ShardRouter* router) { router_ = router; }
+
   bool attached() const { return current_ip_.valid(); }
   net::Ipv4Addr current_ip() const { return current_ip_; }
   ran::CellId serving_cell() const { return serving_cell_; }
@@ -119,14 +127,18 @@ class UeAgent {
   /// pauses while detached and resumes (flush) on the next attach.
   struct OutstandingReport {
     Bytes wire;  // full broker message: [Report, seq, sealed]
+    std::uint64_t session_id = 0;  // routing key for sharded brokers
     int attempts_left = 0;
     Duration next_delay = Duration::zero();
     sim::EventHandle timer;
+    std::size_t last_shard = 0;  // where the last copy went (router mode)
+    bool sent_once = false;      // a timer-driven resend implies a timeout
   };
 
   void send_report(bool final_report);
   void transmit_report(std::uint64_t seq);
   void handle_report_ack(std::uint64_t seq);
+  void handle_redirect(std::uint64_t seq, std::uint16_t bucket, std::uint16_t owner);
   void detach_locally();  // radio + IP teardown, no bTelco signalling
   void try_attach(ran::CellId preferred);
   ran::CellId pick_candidate(ran::CellId preferred);
@@ -145,8 +157,12 @@ class UeAgent {
   sim::ServiceQueue ue_queue_;
   sim::ServiceQueue enb_queue_;
   Rng rng_;
+  /// Dedicated stream for retry jitter so backoff draws never perturb the
+  /// crypto/protocol stream (replays stay bit-identical).
+  Rng jitter_rng_;
 
   transport::MptcpStack* mptcp_ = nullptr;
+  ShardRouter* router_ = nullptr;
 
   // Session state.
   net::Ipv4Addr current_ip_;

@@ -12,6 +12,7 @@ const char* fault_kind_name(scenario::FuzzFault::Kind kind) {
     case scenario::FuzzFault::Kind::TelcoCrash: return "telco_crash";
     case scenario::FuzzFault::Kind::RadioDrop: return "radio_drop";
     case scenario::FuzzFault::Kind::WanDegrade: return "wan_degrade";
+    case scenario::FuzzFault::Kind::ShardKill: return "shard_kill";
   }
   return "unknown";
 }
@@ -21,6 +22,7 @@ scenario::FuzzFault::Kind fault_kind_from(const std::string& name) {
   if (name == "telco_crash") return scenario::FuzzFault::Kind::TelcoCrash;
   if (name == "radio_drop") return scenario::FuzzFault::Kind::RadioDrop;
   if (name == "wan_degrade") return scenario::FuzzFault::Kind::WanDegrade;
+  if (name == "shard_kill") return scenario::FuzzFault::Kind::ShardKill;
   throw std::runtime_error("repro: unknown fault kind '" + name + "'");
 }
 
@@ -33,7 +35,10 @@ JsonValue scenario_to_json(const scenario::FuzzScenario& s) {
     jf["kind"] = fault_kind_name(f.kind);
     jf["start_s"] = f.start_s;
     if (f.kind != scenario::FuzzFault::Kind::RadioDrop) jf["duration_s"] = f.duration_s;
-    if (f.kind == scenario::FuzzFault::Kind::TelcoCrash) jf["telco"] = f.telco;
+    if (f.kind == scenario::FuzzFault::Kind::TelcoCrash ||
+        f.kind == scenario::FuzzFault::Kind::ShardKill) {
+      jf["telco"] = f.telco;  // ShardKill: the shard index rides this slot
+    }
     if (f.kind == scenario::FuzzFault::Kind::WanDegrade) {
       jf["loss"] = f.loss;
       jf["corrupt"] = f.corrupt;
@@ -57,6 +62,7 @@ JsonValue scenario_to_json(const scenario::FuzzScenario& s) {
     o["fluid_ues"] = s.fluid_ues;
     o["fluid_hybrid"] = s.fluid_hybrid;
   }
+  if (s.broker_shards > 1) o["broker_shards"] = s.broker_shards;
   o["faults"] = std::move(faults);
   if (s.plant_dedup_bug) o["plant_dedup_bug"] = true;
   return JsonValue(std::move(o));
@@ -78,6 +84,8 @@ scenario::FuzzScenario scenario_from_json(const JsonValue& v) {
   s.app = static_cast<int>(v.get("app", JsonValue(0)).as_int());
   s.fluid_ues = static_cast<int>(v.get("fluid_ues", JsonValue(0)).as_int());
   s.fluid_hybrid = v.get("fluid_hybrid", JsonValue(false)).as_bool();
+  s.broker_shards = static_cast<int>(v.get("broker_shards", JsonValue(1)).as_int());
+  if (s.broker_shards < 1) throw std::runtime_error("repro: broker_shards must be >= 1");
   s.plant_dedup_bug = v.get("plant_dedup_bug", JsonValue(false)).as_bool();
   if (s.n_towers < 1) throw std::runtime_error("repro: n_towers must be >= 1");
   s.faults.clear();

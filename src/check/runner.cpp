@@ -6,6 +6,7 @@
 #include "apps/iperf.hpp"
 #include "apps/ping.hpp"
 #include "check/fluid_invariants.hpp"
+#include "check/settlement_invariants.hpp"
 #include "check/world_invariants.hpp"
 #include "scenario/scale_traffic.hpp"
 #include "scenario/world.hpp"
@@ -38,6 +39,7 @@ scenario::WorldConfig world_config(const scenario::FuzzScenario& s) {
   w.telco0_overreport = s.telco0_overreport;
   w.ue_underreport = s.ue_underreport;
   w.broker_config.test_skip_report_dedup = s.plant_dedup_bug;
+  w.broker_shards = s.broker_shards;
   return w;
 }
 
@@ -68,6 +70,16 @@ sim::FaultPlan bind_faults(const scenario::FuzzScenario& s, scenario::World& wor
           if (cell != 0) world.ran_map().site(cell).radio_link->set_up(false);
         });
         break;
+      case scenario::FuzzFault::Kind::ShardKill: {
+        if (world.broker_cluster() == nullptr) break;  // single-broker world
+        const std::size_t i =
+            std::min(f.telco, world.broker_cluster()->n_shards() - 1);
+        plan.window(
+            "kill:broker-shard-" + std::to_string(i), start, dur,
+            [&world, i] { world.broker_cluster()->crash_shard(i); },
+            [&world, i] { world.broker_cluster()->restart_shard(i); });
+        break;
+      }
       case scenario::FuzzFault::Kind::WanDegrade: {
         auto apply = [&world](double loss, double corrupt) {
           for (std::size_t i = 0; i < world.n_cloud_links(); ++i) {
@@ -118,6 +130,9 @@ RunReport run_scenario(const scenario::FuzzScenario& s, const RunOptions& option
 
   InvariantEngine engine;
   install_world_invariants(engine, world, &probe);
+  if (world.broker_cluster() != nullptr) {
+    install_settlement_invariants(engine, world);
+  }
 
   const TimePoint horizon = TimePoint::zero() + Duration::seconds(s.duration_s);
   engine.arm(sim, options.check_cadence, horizon);
@@ -156,9 +171,9 @@ RunReport run_scenario(const scenario::FuzzScenario& s, const RunOptions& option
   report.violations = engine.violations();
   report.checks_run = engine.checks_run();
   report.events_executed = sim.events_executed();
-  report.sessions_issued = world.brokerd()->sessions_issued();
-  report.reports_ingested = world.brokerd()->reports_ingested();
-  report.pairs_compared = world.brokerd()->pairs_compared_total();
+  report.sessions_issued = world.broker_sessions_issued();
+  report.reports_ingested = world.broker_reports_ingested();
+  report.pairs_compared = world.broker_pairs_compared();
   report.fault_log_entries = chaos.log().size();
   report.ue_attached_at_end = world.ue_agent()->attached();
 

@@ -38,9 +38,12 @@ class Oracle {
 
 void clamp_fault_indices(scenario::FuzzScenario& s) {
   for (auto& f : s.faults) {
-    if (f.telco >= static_cast<std::size_t>(s.n_towers)) {
-      f.telco = static_cast<std::size_t>(s.n_towers) - 1;
-    }
+    // ShardKill reuses the `telco` slot as a shard index — clamp against the
+    // shard count, not the tower count.
+    const std::size_t limit = f.kind == scenario::FuzzFault::Kind::ShardKill
+                                  ? static_cast<std::size_t>(s.broker_shards)
+                                  : static_cast<std::size_t>(s.n_towers);
+    if (f.telco >= limit) f.telco = limit - 1;
   }
 }
 
@@ -151,6 +154,16 @@ bool simplify_knobs(scenario::FuzzScenario& best, Oracle& oracle, Violation& wit
        [](const scenario::FuzzScenario& s) { return s.fluid_ues > 0; }},
       {"fluid-no-hybrid", [](scenario::FuzzScenario& s) { s.fluid_hybrid = false; },
        [](const scenario::FuzzScenario& s) { return s.fluid_ues > 0 && s.fluid_hybrid; }},
+      {"single-shard",
+       [](scenario::FuzzScenario& s) {
+         // Collapse the broker cluster; shard kills are meaningless on a
+         // single broker, so drop them for a canonical minimal scenario.
+         s.broker_shards = 1;
+         std::erase_if(s.faults, [](const scenario::FuzzFault& f) {
+           return f.kind == scenario::FuzzFault::Kind::ShardKill;
+         });
+       },
+       [](const scenario::FuzzScenario& s) { return s.broker_shards > 1; }},
   };
   for (const auto& tweak : kTweaks) {
     if (!tweak.applicable(best) || !oracle.budget_left()) continue;

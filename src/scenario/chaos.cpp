@@ -54,6 +54,14 @@ ChaosResult run_chaos(const ChaosConfig& config) {
       if (cell != 0) world.ran_map().site(cell).radio_link->set_up(false);
     });
   }
+  for (const auto& k : config.shard_kills) {
+    if (world.broker_cluster() == nullptr) continue;  // single-broker world
+    const std::size_t i = std::min(k.shard, world.broker_cluster()->n_shards() - 1);
+    plan.window(
+        "kill:broker-shard-" + std::to_string(i), k.start, k.duration,
+        [&world, i] { world.broker_cluster()->crash_shard(i); },
+        [&world, i] { world.broker_cluster()->restart_shard(i); });
+  }
   for (const auto& w : config.wan_degrades) {
     auto apply = [&world](double loss, double corrupt) {
       for (std::size_t i = 0; i < world.n_cloud_links(); ++i) {
@@ -121,11 +129,10 @@ ChaosResult run_chaos(const ChaosConfig& config) {
   }
   result.orphan_sessions = sessions_at_end - (result.ue_attached_at_end ? 1 : 0);
 
-  const cellbricks::Brokerd* broker = world.brokerd();
-  result.reports_ingested = broker->reports_ingested();
-  result.reports_deduped = broker->reports_deduped();
-  result.unpaired_expired = broker->unpaired_expired();
-  result.pairs_compared = broker->pairs_compared_total();
+  result.reports_ingested = world.broker_reports_ingested();
+  result.reports_deduped = world.broker_reports_deduped();
+  result.unpaired_expired = world.broker_unpaired_expired();
+  result.pairs_compared = world.broker_pairs_compared();
   result.pair_completion =
       result.reports_ingested > 0
           ? 2.0 * static_cast<double>(result.pairs_compared) /

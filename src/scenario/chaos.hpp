@@ -45,11 +45,20 @@ struct ChaosConfig {
     double loss = 0.0;
     double corrupt = 0.0;
   };
+  /// Broker shard `shard` crashes at `start` (log, fold, and in-flight
+  /// commits wiped) and restarts `duration` later in recovering state.
+  /// Requires world.broker_shards > 1; ignored on single-broker worlds.
+  struct ShardKill {
+    std::size_t shard = 0;
+    TimePoint start;
+    Duration duration;
+  };
 
   std::vector<BrokerOutage> broker_outages;
   std::vector<TelcoCrash> telco_crashes;
   std::vector<RadioDrop> radio_drops;
   std::vector<WanDegrade> wan_degrades;
+  std::vector<ShardKill> shard_kills;
 };
 
 struct ChaosResult {

@@ -35,16 +35,26 @@ FuzzScenario random_scenario(std::uint64_t seed) {
     s.fluid_ues = 8 + static_cast<int>(rng.next_below(57));  // 8..64
     s.fluid_hybrid = rng.chance(0.5);
   }
+  // Sharded broker deployments: sampled at ~30% so the settlement-log
+  // invariants (prefix agreement, verdict uniqueness, no verdict loss) run
+  // under the same chaos schedules as the single-broker world.
+  if (rng.chance(0.3)) s.broker_shards = 1 << (1 + rng.next_below(3));  // 2/4/8
 
   const std::size_t n_faults = rng.next_below(6);  // 0..5
   for (std::size_t i = 0; i < n_faults; ++i) {
     FuzzFault f;
-    f.kind = static_cast<FuzzFault::Kind>(rng.next_below(4));
+    // ShardKill is only meaningful on sharded worlds; keep the draw count
+    // identical either way so fault schedules stay comparable across knobs.
+    const std::uint64_t n_kinds = s.broker_shards > 1 ? 5 : 4;
+    f.kind = static_cast<FuzzFault::Kind>(rng.next_below(n_kinds));
     f.start_s = rng.uniform(5.0, std::max(6.0, s.duration_s - 10.0));
     f.duration_s = rng.uniform(2.0, 30.0);
     switch (f.kind) {
       case FuzzFault::Kind::TelcoCrash:
         f.telco = rng.next_below(static_cast<std::uint64_t>(s.n_towers));
+        break;
+      case FuzzFault::Kind::ShardKill:
+        f.telco = rng.next_below(static_cast<std::uint64_t>(s.broker_shards));
         break;
       case FuzzFault::Kind::WanDegrade:
         f.loss = rng.uniform(0.05, 0.6);

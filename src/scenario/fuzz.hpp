@@ -27,11 +27,13 @@ struct FuzzFault {
     TelcoCrash = 1,    // bTelco `telco` crashes, restarts after `duration`
     RadioDrop = 2,     // serving bearer cut at `start` (no heal)
     WanDegrade = 3,    // loss/corruption on every tower<->cloud path
+    ShardKill = 4,     // broker shard crash+restart (broker_shards > 1 only;
+                       // the `telco` field doubles as the shard index)
   };
   Kind kind = Kind::BrokerOutage;
   double start_s = 0.0;
   double duration_s = 0.0;  // ignored for RadioDrop
-  std::size_t telco = 0;    // TelcoCrash only
+  std::size_t telco = 0;    // TelcoCrash: bTelco index; ShardKill: shard index
   double loss = 0.0;        // WanDegrade only
   double corrupt = 0.0;     // WanDegrade only
 };
@@ -57,6 +59,10 @@ struct FuzzScenario {
   /// Traffic phase mode: fluid-only, or hybrid with a mid-run fault window
   /// that exercises the fluid -> packet -> fluid fidelity boundary.
   bool fluid_hybrid = false;
+  /// Broker deployment: 1 = single Brokerd (default), 2/4/8 = a sharded
+  /// BrokerCluster with the replicated settlement log (DESIGN.md §12) —
+  /// sampled occasionally so the settlement invariants see chaos too.
+  int broker_shards = 1;
   std::vector<FuzzFault> faults;
   /// TEST HOOK passthrough: re-introduce the broker's report double-count
   /// bug (Brokerd::Config::test_skip_report_dedup) so the checker's

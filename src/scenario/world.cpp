@@ -124,24 +124,57 @@ void World::build_cellbricks() {
   ca_ = std::make_unique<crypto::CertificateAuthority>("cb-root", key_rng, config_.rsa_bits);
   const TimePoint not_after = TimePoint::zero() + Duration::s(86400 * 365);
 
-  // Broker.
+  // Broker identity: one keypair/certificate regardless of shard count, so
+  // clients always seal to "broker-0". Key generation order (CA, broker,
+  // UE, telcos) is identical in both deployment shapes — the single-shard
+  // path stays bit-compatible with the pre-sharding engine.
   auto broker_keys = crypto::RsaKeyPair::generate(key_rng, config_.rsa_bits);
   auto broker_cert =
       ca_->issue("broker-0", broker_keys.public_key(), TimePoint::zero(), not_after);
-  cellbricks::SapBroker sap_broker("broker-0", std::move(broker_keys), broker_cert,
-                                   ca_->public_key());
   auto ue_keys = crypto::RsaKeyPair::generate(key_rng, config_.rsa_bits);
-  const crypto::RsaPublicKey broker_pk = sap_broker.certificate().key();
-  cellbricks::Brokerd::Config bcfg = config_.broker_config;
-  brokerd_ = std::make_unique<cellbricks::Brokerd>(*cloud_, std::move(sap_broker), bcfg);
-  brokerd_->add_subscriber("user-001", ue_keys.public_key());
+  const crypto::RsaPublicKey broker_pk = broker_cert.key();
+
+  net::EndPoint broker_ep{cloud_addr_, cellbricks::kBrokerPort};
+  if (config_.broker_shards <= 1) {
+    cellbricks::SapBroker sap_broker("broker-0", std::move(broker_keys), broker_cert,
+                                     ca_->public_key());
+    cellbricks::Brokerd::Config bcfg = config_.broker_config;
+    brokerd_ = std::make_unique<cellbricks::Brokerd>(*cloud_, std::move(sap_broker), bcfg);
+    brokerd_->add_subscriber("user-001", ue_keys.public_key());
+  } else {
+    // Shard hosts hang off the cloud hub: tower -> cloud -> shard-i adds one
+    // fast intra-region hop on top of the configured cloud RTT; shard<->shard
+    // replication crosses the hub the same way.
+    cellbricks::BrokerShard::Config scfg = config_.shard_config;
+    scfg.broker = config_.broker_config;
+    broker_cluster_ = std::make_unique<cellbricks::BrokerCluster>(scfg);
+    for (int i = 0; i < config_.broker_shards; ++i) {
+      net::Node* host = network_.add_node("broker-shard-" + std::to_string(i));
+      network_.register_address(net::Ipv4Addr(2, 2, 2, static_cast<std::uint8_t>(10 + i)),
+                                host);
+      network_.connect(cloud_, host,
+                       net::LinkParams{.rate_bps = 10e9, .delay = Duration::us(250)});
+      shard_nodes_.push_back(host);
+      broker_cluster_->add_shard(
+          *host, cellbricks::SapBroker("broker-0", broker_keys, broker_cert,
+                                       ca_->public_key()));
+    }
+    network_.recompute_routes();
+    broker_cluster_->add_subscriber("user-001", ue_keys.public_key());
+    broker_cluster_->start();
+    shard_router_ = std::make_unique<cellbricks::ShardRouter>(
+        broker_cluster_->client_endpoints());
+    broker_ep = broker_cluster_->client_endpoints().front();
+  }
 
   // One bTelco per tower (the paper's extreme single-tower providers).
-  const net::EndPoint broker_ep{cloud_addr_, cellbricks::kBrokerPort};
   for (int i = 0; i < config_.n_towers; ++i) {
     const std::string id_t = "btelco-" + std::to_string(i);
     auto keys = crypto::RsaKeyPair::generate(key_rng, config_.rsa_bits);
     auto cert = ca_->issue(id_t, keys.public_key(), TimePoint::zero(), not_after);
+    // Cluster-wide key registration: a shard that never served this bTelco's
+    // attach must still be able to verify its report signatures.
+    if (broker_cluster_) broker_cluster_->add_telco(id_t, keys.public_key());
     cellbricks::SapTelco sap_telco(id_t, std::move(keys), std::move(cert), ca_->public_key());
     cellbricks::Btelco::Config tcfg = config_.btelco_config;
     tcfg.ip_subnet = static_cast<std::uint8_t>(100 + i);
@@ -150,6 +183,7 @@ void World::build_cellbricks() {
     auto telco = std::make_unique<cellbricks::Btelco>(
         network_, *towers_[static_cast<std::size_t>(i)], std::move(sap_telco), broker_cert,
         broker_ep, tcfg);
+    if (shard_router_) telco->set_router(shard_router_.get());
     telco_by_cell_[static_cast<ran::CellId>(i + 1)] = telco.get();
     btelcos_.push_back(std::move(telco));
   }
@@ -166,6 +200,7 @@ void World::build_cellbricks() {
       },
       broker_ep, ucfg);
   ue_agent_->set_mptcp(ue_mptcp_.get());
+  if (shard_router_) ue_agent_->set_router(shard_router_.get());
 }
 
 void World::start() {

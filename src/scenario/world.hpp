@@ -17,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "cellbricks/broker_cluster.hpp"
 #include "cellbricks/brokerd.hpp"
 #include "cellbricks/btelco.hpp"
 #include "cellbricks/ue_agent.hpp"
@@ -56,6 +57,14 @@ struct WorldConfig {
   double ue_underreport = 1.0;
   /// Billing report cadence at both the UE baseband and the bTelcos.
   Duration report_interval = Duration::s(10);
+  /// Broker deployment size. 1 = the classic single Brokerd on the cloud
+  /// host (default; bit-identical to the pre-sharding engine). >1 = a
+  /// BrokerCluster of that many shards on dedicated hosts behind the cloud
+  /// hub, with clients routing via a ShardRouter (DESIGN.md §12).
+  int broker_shards = 1;
+  /// Cluster timing knobs (heartbeats, append retry, ...) when
+  /// broker_shards > 1; the `broker` member is overridden by broker_config.
+  cellbricks::BrokerShard::Config shard_config{};
   /// Base component configs (chaos experiments tighten timeouts here); the
   /// world-level fields above override the corresponding members on top.
   cellbricks::Brokerd::Config broker_config{};
@@ -103,6 +112,34 @@ class World {
 
   // Architecture internals (exposed for experiments and examples).
   cellbricks::Brokerd* brokerd() { return brokerd_.get(); }
+  /// Sharded deployments (broker_shards > 1); null otherwise — exactly one
+  /// of brokerd()/broker_cluster() is set in CellBricks mode.
+  cellbricks::BrokerCluster* broker_cluster() { return broker_cluster_.get(); }
+  cellbricks::ShardRouter* shard_router() { return shard_router_.get(); }
+  net::Node* shard_node(std::size_t i) { return shard_nodes_.at(i); }
+
+  // Broker-side billing aggregates that read the same regardless of
+  // deployment shape (experiments/check/chaos accounting).
+  std::uint64_t broker_sessions_issued() const {
+    return broker_cluster_ ? broker_cluster_->sessions_issued()
+                           : (brokerd_ ? brokerd_->sessions_issued() : 0);
+  }
+  std::uint64_t broker_reports_ingested() const {
+    return broker_cluster_ ? broker_cluster_->reports_ingested()
+                           : (brokerd_ ? brokerd_->reports_ingested() : 0);
+  }
+  std::uint64_t broker_reports_deduped() const {
+    return broker_cluster_ ? broker_cluster_->reports_deduped()
+                           : (brokerd_ ? brokerd_->reports_deduped() : 0);
+  }
+  std::uint64_t broker_unpaired_expired() const {
+    return broker_cluster_ ? broker_cluster_->unpaired_expired()
+                           : (brokerd_ ? brokerd_->unpaired_expired() : 0);
+  }
+  std::uint64_t broker_pairs_compared() const {
+    return broker_cluster_ ? broker_cluster_->pairs_compared()
+                           : (brokerd_ ? brokerd_->pairs_compared_total() : 0);
+  }
   cellbricks::UeAgent* ue_agent() { return ue_agent_.get(); }
   cellbricks::Btelco* btelco(std::size_t i) { return btelcos_[i].get(); }
   std::size_t n_btelcos() const { return btelcos_.size(); }
@@ -153,6 +190,9 @@ class World {
   // CellBricks side.
   std::unique_ptr<crypto::CertificateAuthority> ca_;
   std::unique_ptr<cellbricks::Brokerd> brokerd_;
+  std::unique_ptr<cellbricks::BrokerCluster> broker_cluster_;
+  std::unique_ptr<cellbricks::ShardRouter> shard_router_;
+  std::vector<net::Node*> shard_nodes_;
   std::vector<std::unique_ptr<cellbricks::Btelco>> btelcos_;
   std::unordered_map<ran::CellId, cellbricks::Btelco*> telco_by_cell_;
   std::unique_ptr<cellbricks::UeAgent> ue_agent_;

@@ -236,8 +236,9 @@ TEST(AttachRecovery, WatchdogDetectsBearerLossAndReattaches) {
 TEST(ReliableReports, DuplicatesAreFilteredBeforeBilling) {
   WorldConfig cfg = static_cb_config(1);
   // Retransmit far faster than the ACK RTT: every report is sent several
-  // times, and every copy past the first must be dropped by the dedup
-  // filter — NOT rejected, and NOT double-billed.
+  // times, and every copy past the first must be absorbed idempotently —
+  // answered from the report-ack cache or dropped by the dedup filter —
+  // NOT rejected, and NOT double-billed.
   cfg.ue_config.report_retry = Duration::millis(1);
   cfg.report_interval = Duration::s(2);
   World world(cfg);
@@ -247,7 +248,7 @@ TEST(ReliableReports, DuplicatesAreFilteredBeforeBilling) {
   world.simulator().run_for(Duration::s(11));
   ASSERT_TRUE(attached);
 
-  EXPECT_GT(world.brokerd()->reports_deduped(), 0u);
+  EXPECT_GT(world.brokerd()->reports_deduped() + world.brokerd()->report_ack_cache_hits(), 0u);
   EXPECT_GT(world.brokerd()->reports_ingested(), 0u);
   EXPECT_EQ(world.brokerd()->reports_rejected(), 0u);
   // Double-counted UE bytes would show up as billing mismatches.
@@ -400,6 +401,12 @@ TEST(Chaos, EngineEquivalenceGolden) {
   // values below. The slab/generation engine and the copy-on-write wire
   // path must reproduce them bit-identically — any drift means the swap
   // changed execution order or payload contents somewhere.
+  //
+  // Re-frozen for the sharded-broker PR: retry backoff is now decorrelated
+  // jitter drawn from a dedicated per-agent RNG stream (shifts retransmit
+  // timing, hence the fingerprint), and the broker's idempotent report-ack
+  // cache answers most retransmits before they reach the ingest dedup
+  // filter (reports_deduped 7 -> 1). All other counters are unchanged.
   ChaosConfig cfg;
   cfg.world.seed = 42;
   cfg.world.route = suburb_day();
@@ -419,14 +426,14 @@ TEST(Chaos, EngineEquivalenceGolden) {
                               .corrupt = 0.10});
 
   const ChaosResult r = run_chaos(cfg);
-  EXPECT_EQ(r.fingerprint, 0x40a60d687032324fULL);
+  EXPECT_EQ(r.fingerprint, 0x7cac7660fc2c3249ULL);
   EXPECT_EQ(r.reattach_latency_ms.count(), 6u);
   EXPECT_EQ(r.bearer_losses, 2u);
   EXPECT_EQ(r.attach_failures, 0u);
   EXPECT_EQ(r.sessions_gced, 1u);
   EXPECT_EQ(r.orphan_sessions, 0u);
   EXPECT_EQ(r.reports_ingested, 54u);
-  EXPECT_EQ(r.reports_deduped, 7u);
+  EXPECT_EQ(r.reports_deduped, 1u);
   EXPECT_EQ(r.unpaired_expired, 6u);
   EXPECT_EQ(r.pairs_compared, 24u);
   EXPECT_TRUE(r.ue_attached_at_end);

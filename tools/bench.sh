@@ -32,7 +32,8 @@ done
 
 SAP_BIN="$BUILD_DIR/bench/bench_sap_crypto"
 SCALE_BIN="$BUILD_DIR/bench/bench_scale_users"
-for bin in "$SAP_BIN" "$SCALE_BIN"; do
+SHARDS_BIN="$BUILD_DIR/bench/bench_broker_shards"
+for bin in "$SAP_BIN" "$SCALE_BIN" "$SHARDS_BIN"; do
   if [[ ! -x "$bin" ]]; then
     echo "missing $bin — build first: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
     exit 1
@@ -63,6 +64,13 @@ SCALE_ARGS=(--fluid --json "$TMP/scale.json")
 if [[ "$SMOKE" == 1 ]]; then SCALE_ARGS+=(--smoke); fi
 "$SCALE_BIN" "${SCALE_ARGS[@]}" >/dev/null
 
+# --- Sharded-broker scaling + failover (DESIGN.md §12) -----------------------
+# The binary gates itself: nonzero exit on a lost billing verdict, a
+# verdict-content conflict, or a same-seed fingerprint divergence.
+SHARDS_ARGS=(--json "$TMP/shards.json")
+if [[ "$SMOKE" == 1 ]]; then SHARDS_ARGS+=(--smoke); fi
+"$SHARDS_BIN" "${SHARDS_ARGS[@]}" >/dev/null
+
 # --- Instrumentation-overhead guard ------------------------------------------
 # The obs layer claims near-zero cost: compare bench_scale_users --smoke with
 # metrics enabled vs --no-metrics, min-of-5 each (the min filters scheduler
@@ -73,12 +81,13 @@ for i in 1 2 3 4 5; do
 done
 
 # --- Assemble the committed BENCH_*.json -------------------------------------
-SMOKE="$SMOKE" python3 - "$TMP/sap.json" "$TMP/scale.json" <<'EOF'
+SMOKE="$SMOKE" python3 - "$TMP/sap.json" "$TMP/scale.json" "$TMP/shards.json" <<'EOF'
 import json, os, sys
 
 smoke = os.environ["SMOKE"] == "1"
 sap_raw = json.load(open(sys.argv[1]))
 scale_raw = json.load(open(sys.argv[2]))
+shards_raw = json.load(open(sys.argv[3]))
 
 # Frozen pre-PR3 baselines (seed engine: schoolbook powmod, deep-copy packet
 # path, sequential sweeps), measured on the reference 1-CPU container.
@@ -149,7 +158,20 @@ scale = {
     # Deterministic obs snapshot of the run (see DESIGN.md §9): SAP latency
     # histograms, attach/report counters, flight-recorder fingerprint.
     "metrics": scale_raw["metrics"],
+    # Sharded-broker scaling + failover availability (DESIGN.md §12). The
+    # hard gates re-checked here: bit-identical same-seed replay, zero lost
+    # billing verdicts, zero verdict-content conflicts across the shard kill.
+    "broker_shards": shards_raw,
 }
+assert shards_raw["replay_identical"], "broker shard replay diverged"
+fo = shards_raw["failover"]
+assert fo["verdicts_lost"] == 0, f"failover lost verdicts: {fo}"
+assert fo["verdict_conflicts"] == 0, f"failover verdict conflicts: {fo}"
+assert fo["takeovers"] > 0, f"failover trial saw no takeover: {fo}"
+for p in shards_raw["scaling"]:
+    assert p["point"]["verdicts_lost"] == 0, f"scaling point lost verdicts: {p}"
+print("broker_shards: failover lost=0 conflicts=0, %d-point scaling curve"
+      % len(shards_raw["scaling"]))
 json.dump(scale, open("BENCH_scale.json", "w"), indent=2)
 print("BENCH_scale.json: wall %.2fs (%.1fx), fluid curve %.2fs to %dk UEs"
       % (scale_raw["wall_s"], SCALE_BASE_WALL_S / scale_raw["wall_s"],

@@ -49,6 +49,17 @@ build/bench/bench_scale_users --smoke --fluid --no-metrics >/dev/null || {
 }
 echo "agreement gate ok"
 
+echo "=== sharded-broker chaos replay gate (Release) ==="
+# Failover determinism (DESIGN.md §12): the same seeded shard-kill trial run
+# twice must produce bit-identical fingerprints, lose zero billing verdicts,
+# and author no conflicting verdicts. The bench exits nonzero on any of the
+# three — a hard CI failure.
+build/bench/bench_broker_shards --replay >/dev/null || {
+  echo "chaos replay gate FAILED — rerun: build/bench/bench_broker_shards --replay"
+  exit 1
+}
+echo "chaos replay gate ok"
+
 echo "=== fuzz smoke (64-seed corpus, shrink-on-fail) ==="
 # Full 64 seeds on the release binary; a front slice of the same corpus on
 # the sanitized one (≈35x slower), catching memory bugs the invariants
@@ -73,7 +84,7 @@ scale = json.load(open("BENCH_scale.json"))
 for doc, keys in ((sap, ("bench", "mode", "baseline", "current", "speedup")),
                   (scale, ("bench", "mode", "baseline", "current", "speedup",
                            "instrumentation", "points", "scale_curve",
-                           "agreement", "metrics"))):
+                           "agreement", "metrics", "broker_shards"))):
     missing = [k for k in keys if k not in doc]
     assert not missing, f"{doc.get('bench')}: missing keys {missing}"
 assert sap["bench"] == "sap_crypto" and scale["bench"] == "scale_users"
@@ -106,7 +117,24 @@ assert sap_hist["count"] > 0
 assert m["trace"]["fingerprint"].startswith("0x")
 inst = scale["instrumentation"]
 assert inst["overhead_pct"] <= inst["budget_pct"]
-print("BENCH_*.json schema ok (incl. metrics section)")
+
+# Sharded-broker schema (DESIGN.md §12): the replay gate, the failover
+# availability gate, and a scaling curve over 1/2/4/8 shards.
+bs = scale["broker_shards"]
+for k in ("smoke", "replay_identical", "failover", "scaling"):
+    assert k in bs, f"broker_shards: missing key {k}"
+assert bs["replay_identical"], "broker_shards: same-seed replay diverged"
+for k in ("reports_ingested", "ingest_rps", "verdicts_paired", "verdicts_lost",
+          "verdict_conflicts", "takeovers", "ack_p50_ms", "ack_p99_ms",
+          "fingerprint"):
+    assert k in bs["failover"], f"broker_shards.failover: missing {k}"
+assert bs["failover"]["verdicts_lost"] == 0
+assert bs["failover"]["verdict_conflicts"] == 0
+assert bs["failover"]["takeovers"] > 0
+assert [p["n_shards"] for p in bs["scaling"]] == [1, 2, 4, 8]
+for p in bs["scaling"]:
+    assert p["point"]["verdicts_lost"] == 0, f"scaling point lost verdicts: {p}"
+print("BENCH_*.json schema ok (incl. metrics + broker_shards sections)")
 EOF
 # Smoke numbers are not representative — restore the committed full-run JSONs.
 git checkout -- BENCH_sap.json BENCH_scale.json 2>/dev/null || true
