@@ -18,15 +18,20 @@
 // The fluid scale-curve points run sequentially so each point's wall-clock
 // and peak-RSS delta are attributable to that point alone.
 //
-// Usage: bench_scale_users [--smoke] [--fluid] [--json FILE] [--no-metrics]
-//   --smoke       small point set (CI schema check, not a measurement)
-//   --fluid       add the fluid scale curve + the agreement gate
-//   --json        also write machine-readable results + wall-clock to FILE
-//   --no-metrics  run with observability disabled (instrumentation-overhead
-//                 baseline for tools/bench.sh)
+// Usage: bench_scale_users [--smoke] [--fluid] [--fluid-threads N]
+//                          [--json FILE] [--no-metrics]
+//   --smoke          small point set (CI schema check, not a measurement)
+//   --fluid          add the fluid scale curve + the agreement gates
+//   --fluid-threads  worker threads for the fluid engine's reallocation
+//                    drain on the curve points (default 1; any value is
+//                    bit-identical — the 1-vs-4 gate below proves it)
+//   --json           also write machine-readable results + wall-clock to FILE
+//   --no-metrics     run with observability disabled (instrumentation-
+//                    overhead baseline for tools/bench.sh)
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
 #include <set>
@@ -90,6 +95,18 @@ double peak_rss_mb() {
   return kb / 1024.0;
 }
 
+/// Reset the kernel's peak-RSS watermark so each curve point reads its OWN
+/// peak: VmHWM is a process-lifetime high-water mark, so without the reset
+/// later points inherit earlier points' peaks and the 1M memory number
+/// would be a lie. Returns false when /proc/self/clear_refs is unavailable
+/// (non-Linux); callers fall back to reporting the watermark delta.
+bool reset_peak_rss() {
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (!f) return false;
+  const bool ok = std::fputs("5", f) >= 0;
+  return std::fclose(f) == 0 && ok;
+}
+
 /// Tracks which pool workers actually executed a trial, so the JSON can
 /// report threads *used* rather than the pool size (on a small point set
 /// the pool may be larger than the number of concurrent trials).
@@ -109,7 +126,7 @@ class ThreadUse {
   std::set<std::thread::id> ids_;
 };
 
-ScaleTrafficConfig curve_config(int n_ues) {
+ScaleTrafficConfig curve_config(int n_ues, int fluid_threads = 1) {
   ScaleTrafficConfig cfg;
   cfg.mode = TrafficMode::Fluid;
   cfg.n_ues = n_ues;
@@ -118,7 +135,41 @@ ScaleTrafficConfig curve_config(int n_ues) {
   cfg.start_window_s = 10.0;
   cfg.shaper_resample_s = 30.0;
   cfg.horizon_s = 3600.0;
+  cfg.fluid_threads = fluid_threads;
   return cfg;
+}
+
+/// The parallel-determinism gate (DESIGN.md §13): the same curve point at 1
+/// and 4 drain threads must produce the same fingerprint (delivered bytes,
+/// billing, segment ledger, event counts — all folded in) and byte-identical
+/// metrics snapshots. Mismatch exits nonzero, like the agreement gate.
+struct ThreadAgreement {
+  int n_ues = 0;
+  unsigned threads = 4;
+  bool fingerprint_match = false;
+  bool metrics_match = false;
+  std::uint64_t fingerprint_serial = 0;
+  std::uint64_t fingerprint_parallel = 0;
+  bool pass = false;
+};
+
+ThreadAgreement run_thread_agreement(int n_ues) {
+  ThreadAgreement t;
+  t.n_ues = n_ues;
+  auto run_with = [&](int threads, std::string& metrics_json) {
+    obs::Registry reg;
+    obs::ScopedRegistry scope(&reg);
+    const ScaleTrafficResult r = run_scale_traffic(curve_config(n_ues, threads));
+    metrics_json = reg.to_json();
+    return r.fingerprint();
+  };
+  std::string json_serial, json_parallel;
+  t.fingerprint_serial = run_with(1, json_serial);
+  t.fingerprint_parallel = run_with(static_cast<int>(t.threads), json_parallel);
+  t.fingerprint_match = t.fingerprint_serial == t.fingerprint_parallel;
+  t.metrics_match = json_serial == json_parallel;
+  t.pass = t.fingerprint_match && t.metrics_match;
+  return t;
 }
 
 /// The CI hard gate: the PacketVsFluidAgreementSmallN tolerance, rerun as a
@@ -165,10 +216,13 @@ int main(int argc, char** argv) {
   bool smoke = false;
   bool fluid_axis = false;
   bool metrics_enabled = true;
+  int fluid_threads = 1;
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     else if (std::strcmp(argv[i], "--fluid") == 0) fluid_axis = true;
+    else if (std::strcmp(argv[i], "--fluid-threads") == 0 && i + 1 < argc)
+      fluid_threads = std::max(std::atoi(argv[++i]), 1);
     else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
     else if (std::strcmp(argv[i], "--no-metrics") == 0) metrics_enabled = false;
   }
@@ -185,8 +239,12 @@ int main(int argc, char** argv) {
   const std::vector<double> losses = smoke ? std::vector<double>{0.0, 0.05}
                                            : std::vector<double>{0.0, 0.01, 0.05, 0.10};
   const int loss_ues = smoke ? 10 : 50;
+  // The full curve ends at 1M UEs — the ROADMAP scale target. Release-only
+  // in CI (scale ctest label covers the test-suite variant); the smoke set
+  // stays small enough for the sanitizer legs.
   const std::vector<int> curve_sizes =
-      smoke ? std::vector<int>{1000, 10000} : std::vector<int>{1000, 10000, 100000};
+      smoke ? std::vector<int>{1000, 10000}
+            : std::vector<int>{1000, 10000, 100000, 1000000};
 
   std::vector<StormPoint> points;
   for (int n : storm_sizes) {
@@ -225,21 +283,29 @@ int main(int argc, char** argv) {
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
 
-  // Fluid scale curve + agreement gate — sequential on purpose (see header).
+  // Fluid scale curve + agreement gates — sequential on purpose (see header).
   std::vector<FluidPoint> curve;
   Agreement agreement;
+  ThreadAgreement thread_agreement;
+  bool rss_reset_ok = true;
   const auto fluid_start = std::chrono::steady_clock::now();
   if (fluid_axis) {
     for (int n : curve_sizes) {
       FluidPoint p;
       p.n_ues = n;
+      const double rss_before = peak_rss_mb();
+      const bool did_reset = reset_peak_rss();
+      rss_reset_ok = rss_reset_ok && did_reset;
       const double t0 = now_s();
-      p.result = run_scale_traffic(curve_config(n));
+      p.result = run_scale_traffic(curve_config(n, fluid_threads));
       p.wall_s = now_s() - t0;
-      p.peak_rss_mb = peak_rss_mb();
+      // Post-reset VmHWM is this point's own peak; without clear_refs fall
+      // back to the watermark delta (a floor of the true per-point peak).
+      p.peak_rss_mb = did_reset ? peak_rss_mb() : std::max(peak_rss_mb() - rss_before, 0.0);
       curve.push_back(p);
     }
     agreement = run_agreement_gate();
+    thread_agreement = run_thread_agreement(smoke ? 1000 : 10000);
   }
   const double fluid_wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - fluid_start).count();
@@ -277,8 +343,22 @@ int main(int argc, char** argv) {
                   p.result.completed, p.n_ues);
     }
     std::printf("\n(Events scale with rate changes, not packets: the arena keeps\n"
-                " per-session state at %zu B so 100k sessions stay cache-resident.)\n",
-                traffic::SessionArena::bytes_per_session());
+                " per-session state at %zu B so 1M sessions stay in ~74 MB.\n"
+                " peakRSS is per-point%s; fluid drain threads: %d.)\n",
+                traffic::SessionArena::bytes_per_session(),
+                rss_reset_ok ? " (VmHWM reset between points)"
+                             : " (watermark delta — clear_refs unavailable)",
+                fluid_threads);
+
+    std::printf("\n=== Parallel-drain determinism gate (%d UEs, 1 vs %u fluid threads) ===\n\n",
+                thread_agreement.n_ues, thread_agreement.threads);
+    std::printf("  fingerprint:      %016llx vs %016llx -> %s\n",
+                static_cast<unsigned long long>(thread_agreement.fingerprint_serial),
+                static_cast<unsigned long long>(thread_agreement.fingerprint_parallel),
+                thread_agreement.fingerprint_match ? "identical" : "DIVERGED");
+    std::printf("  metrics snapshot: %s\n",
+                thread_agreement.metrics_match ? "byte-identical" : "DIVERGED");
+    std::printf("  => %s\n", thread_agreement.pass ? "PASS" : "FAIL");
 
     std::printf("\n=== Packet-vs-fluid agreement gate (%d UEs, shaper-dominated) ===\n\n",
                 agreement.n_ues);
@@ -338,14 +418,23 @@ int main(int argc, char** argv) {
         first = false;
       }
       std::fprintf(f,
-                   "\n  ],\n  \"agreement\": {\"n_ues\": %d, \"pass\": %s, "
+                   "\n  ],\n  \"fluid_threads\": %d,\n  \"rss_mode\": \"%s\",\n"
+                   "  \"agreement\": {\"n_ues\": %d, \"pass\": %s, "
                    "\"bytes_exact\": %s, \"billing_exact\": %s, "
                    "\"mean_err_pct\": %.2f, \"p99_err_pct\": %.2f, "
-                   "\"mean_budget_pct\": 15.0, \"p99_budget_pct\": 25.0}",
+                   "\"mean_budget_pct\": 15.0, \"p99_budget_pct\": 25.0},\n"
+                   "  \"thread_agreement\": {\"n_ues\": %d, \"threads\": %u, "
+                   "\"pass\": %s, \"fingerprint_match\": %s, \"metrics_match\": %s, "
+                   "\"fingerprint\": \"%016llx\"}",
+                   fluid_threads, rss_reset_ok ? "reset" : "delta",
                    agreement.n_ues, agreement.pass ? "true" : "false",
                    agreement.bytes_exact ? "true" : "false",
                    agreement.billing_exact ? "true" : "false", agreement.mean_err * 100,
-                   agreement.p99_err * 100);
+                   agreement.p99_err * 100, thread_agreement.n_ues,
+                   thread_agreement.threads, thread_agreement.pass ? "true" : "false",
+                   thread_agreement.fingerprint_match ? "true" : "false",
+                   thread_agreement.metrics_match ? "true" : "false",
+                   static_cast<unsigned long long>(thread_agreement.fingerprint_serial));
     }
     std::fprintf(f, ",\n  \"metrics_enabled\": %s",
                  metrics_enabled ? "true" : "false");
@@ -358,6 +447,10 @@ int main(int argc, char** argv) {
 
   if (fluid_axis && !agreement.pass) {
     std::fprintf(stderr, "FAIL: packet-vs-fluid agreement outside tolerance\n");
+    return 1;
+  }
+  if (fluid_axis && !thread_agreement.pass) {
+    std::fprintf(stderr, "FAIL: parallel drain diverged from serial engine\n");
     return 1;
   }
   return 0;

@@ -82,6 +82,9 @@ struct ScaleTrafficConfig {
   double fault_capacity_factor = 0.25;
   /// Packet -> fluid re-promotion after this many RTTs of steady state.
   int k_rtts_to_promote = 8;
+  /// Worker threads for the fluid engine's per-timestamp reallocation drain
+  /// (1 = serial; any value produces bit-identical results — DESIGN.md §13).
+  int fluid_threads = 1;
 };
 
 struct ScaleTrafficResult {
@@ -136,6 +139,10 @@ class ScaleTrafficSim {
   /// yourself (the check runner arms invariants between start() and this).
   ScaleTrafficResult collect();
 
+  /// Total app bytes delivered so far (fluid progress accrued up to now) —
+  /// for mid-run load-curve samplers (bench_fig10_day_night --fluid).
+  double delivered_now();
+
  private:
   struct PacketFlow;
   struct Lane;
@@ -144,6 +151,7 @@ class ScaleTrafficSim {
   void build_fluid();
   void build_packet();
   void bill_sweep();
+  TimePoint next_resample_epoch() const;
   void schedule_shaper_resample(std::uint32_t ue);
   void schedule_packet_resample(std::uint32_t ue);
   void schedule_mobility(std::uint32_t ue);

@@ -4,8 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
+#include "common/rng.hpp"
+#include "obs/metrics.hpp"
 #include "scenario/scale_traffic.hpp"
 #include "sim/simulator.hpp"
 #include "test_seed.hpp"
@@ -41,6 +44,7 @@ TEST(Fluid, EqualShareSplitsCapacity) {
   const std::uint32_t cell = eng.add_cell(100e6);
   for (int i = 0; i < 4; ++i) arena.create(cell, 1.0f, 0.0);
   for (SessionId id = 0; id < 4; ++id) eng.start_flow(id, 1e9);
+  eng.flush();  // mutations defer the water-fill to the same-timestamp drain
   for (SessionId id = 0; id < 4; ++id) EXPECT_DOUBLE_EQ(arena.rate_bps(id), 25e6);
 }
 
@@ -53,6 +57,7 @@ TEST(Fluid, CapBoundFlowsReleaseCapacityToOthers) {
   arena.create(cell, 1.0f, 0.0);
   arena.create(cell, 1.0f, 0.0);
   for (SessionId id = 0; id < 3; ++id) eng.start_flow(id, 1e9);
+  eng.flush();
   // Water-filling: capped flow keeps 10, the other two split the remaining 80.
   EXPECT_DOUBLE_EQ(arena.rate_bps(0), 10e6);
   EXPECT_DOUBLE_EQ(arena.rate_bps(1), 40e6);
@@ -68,6 +73,7 @@ TEST(Fluid, WeightedShares) {
   arena.create(cell, 1.0f, 0.0);
   eng.start_flow(0, 1e9);
   eng.start_flow(1, 1e9);
+  eng.flush();
   EXPECT_DOUBLE_EQ(arena.rate_bps(0), 20e6);
   EXPECT_DOUBLE_EQ(arena.rate_bps(1), 10e6);
 }
@@ -179,6 +185,120 @@ TEST(Fluid, PromoteAfterPacketWindowDoesNotDoubleCount) {
   // segment or a packet byte, never both.
   const double delivered = arena.delivered_bytes(0) + arena.delivered_bytes(1);
   EXPECT_NEAR(eng.segment_bytes() + packet_bytes, delivered, 1.0);
+}
+
+// Reference from-scratch water-fill, mirroring the engine's arithmetic
+// exactly (same visit order, same fresh weight sum over the id-ordered
+// member list, same fair-share expression) — the ground truth the
+// incremental engine must match to the last ulp.
+void reference_fill(const SessionArena& arena, std::vector<SessionId> members,
+                    double capacity, std::vector<double>& expected) {
+  auto key = [&](SessionId id) {
+    const double cap = arena.cap_bps(id);
+    return cap > 0.0 ? cap / arena.weight(id) : std::numeric_limits<double>::infinity();
+  };
+  double weight_left = 0.0;
+  for (SessionId id : members) weight_left += arena.weight(id);  // ascending id
+  std::sort(members.begin(), members.end(), [&](SessionId a, SessionId b) {
+    const double ka = key(a);
+    const double kb = key(b);
+    if (ka != kb) return ka < kb;
+    return a < b;
+  });
+  double remaining = capacity;
+  for (SessionId id : members) {
+    const double w = arena.weight(id);
+    double rate = 0.0;
+    if (remaining > 0.0 && weight_left > 0.0) {
+      const double fair = remaining * w / weight_left;
+      const double cap = arena.cap_bps(id);
+      rate = (cap > 0.0 && cap < fair) ? cap : fair;
+    }
+    remaining -= rate;
+    weight_left -= w;
+    expected[id] = rate;
+  }
+}
+
+TEST(Fluid, IncrementalEqualsFromScratchUnderChurn) {
+  // DESIGN.md §13 property: the persistently maintained fill order plus
+  // deferred dirty-cell drains must produce BIT-IDENTICAL rates to a
+  // from-scratch water-fill of the same members, after any interleaving of
+  // join / leave / cap-change / demote / promote / handover / capacity
+  // churn. 40 seeds x 120 ops; every surviving member's arena rate is
+  // compared exactly (ghosts included — their published share is a rate).
+  constexpr int kSeeds = 40;
+  constexpr int kOps = 120;
+  constexpr std::uint32_t kCells = 3;
+  constexpr SessionId kSessions = 48;
+  for (int s = 0; s < kSeeds; ++s) {
+    const std::uint64_t seed = cb::test::seed_or(1000) + static_cast<std::uint64_t>(s);
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    sim::Simulator sim(seed);
+    SessionArena arena(kSessions);
+    FluidEngine eng(sim, arena);
+    Rng rng(seed);
+    for (std::uint32_t c = 0; c < kCells; ++c) eng.add_cell(rng.uniform(20e6, 120e6));
+    for (SessionId id = 0; id < kSessions; ++id) {
+      const double cap = rng.chance(0.5) ? rng.uniform(1e6, 30e6) : 0.0;
+      arena.create(rng.next_below(kCells), rng.chance(0.25) ? 2.0f : 1.0f, cap);
+    }
+
+    std::vector<double> expected(kSessions, 0.0);
+    for (int op = 0; op < kOps; ++op) {
+      const SessionId id = static_cast<SessionId>(rng.next_below(kSessions));
+      const FlowMode mode = arena.mode(id);
+      switch (rng.next_below(7)) {
+        case 0:  // join
+          if (mode == FlowMode::Idle || mode == FlowMode::Done) {
+            if (mode == FlowMode::Done) arena.mode(id) = FlowMode::Idle;
+            eng.start_flow(id, rng.uniform(1e6, 40e6));
+          }
+          break;
+        case 1:  // cap change (including to/from uncapped)
+          if (mode == FlowMode::Fluid || mode == FlowMode::Packet) {
+            eng.set_flow_cap(id, rng.chance(0.3) ? 0.0 : rng.uniform(1e6, 30e6));
+          }
+          break;
+        case 2:
+          if (mode == FlowMode::Fluid) eng.demote(id);
+          break;
+        case 3:
+          if (mode == FlowMode::Packet) eng.promote(id);
+          break;
+        case 4:
+          if (mode == FlowMode::Fluid || mode == FlowMode::Packet) {
+            eng.handover(id, static_cast<std::uint32_t>(rng.next_below(kCells)));
+          }
+          break;
+        case 5:
+          eng.set_cell_capacity(static_cast<std::uint32_t>(rng.next_below(kCells)),
+                                rng.uniform(10e6, 120e6));
+          break;
+        case 6:  // advance time — completions fire, leaves happen
+          sim.run_until(sim.now() + Duration::millis(rng.uniform(1.0, 500.0)));
+          break;
+      }
+      eng.flush();
+
+      // From-scratch reference per cell, membership derived from the arena.
+      for (std::uint32_t c = 0; c < kCells; ++c) {
+        std::vector<SessionId> members;
+        for (SessionId m = 0; m < kSessions; ++m) {
+          const FlowMode mm = arena.mode(m);
+          if ((mm == FlowMode::Fluid || mm == FlowMode::Packet) && arena.cell(m) == c) {
+            members.push_back(m);
+          }
+        }
+        reference_fill(arena, members, eng.cell_capacity(c), expected);
+        for (SessionId m : members) {
+          ASSERT_EQ(arena.rate_bps(m), expected[m])
+              << "op=" << op << " cell=" << c << " session=" << m;
+        }
+      }
+    }
+    EXPECT_EQ(eng.negative_residuals(), 0u);
+  }
 }
 
 // --- scenario-level properties ---------------------------------------------
@@ -324,6 +444,52 @@ TEST(ScaleTraffic, FullOutageThrottlesLanes) {
     if (arena.cell(i) != 0 || finish_s <= cfg.fault_start_s) continue;
     EXPECT_GE(finish_s, cfg.fault_start_s + cfg.fault_duration_s) << "ue=" << i;
   }
+}
+
+TEST(ScaleTraffic, FluidThreadsBitIdentical) {
+  // DESIGN.md §13 determinism contract: the parallel drain at 4 worker
+  // threads must be BIT-identical to the serial engine on the same seed —
+  // same fingerprint (delivered/segment/billing totals, event counts), same
+  // per-session delivered bytes, and byte-identical metrics snapshots. The
+  // workload exercises every parallel-phase path: multi-cell churn via
+  // mobility, epoch-aligned cap resamples (many dirty cells per drain), and
+  // a hybrid fault window (ghost-share callbacks replayed at commit).
+  const std::uint64_t seed = cb::test::seed_or(13);
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  auto cfg = small_config(seed);
+  cfg.mode = scenario::TrafficMode::Hybrid;
+  cfg.n_cells = 4;
+  cfg.mobility_interval_s = 15.0;
+  cfg.shaper_resample_s = 20.0;
+  cfg.fault_start_s = 3.0;
+  cfg.fault_duration_s = 5.0;
+
+  auto run_with = [&](int threads, std::string& metrics_json,
+                      std::vector<double>& per_session) {
+    cfg.fluid_threads = threads;
+    obs::Registry reg;
+    obs::ScopedRegistry scope(&reg);
+    scenario::ScaleTrafficSim sim(cfg);
+    const auto r = sim.run_to_completion();
+    metrics_json = reg.to_json();
+    per_session.clear();
+    for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(cfg.n_ues); ++i) {
+      per_session.push_back(sim.arena().delivered_bytes(i));
+      per_session.push_back(sim.arena().billed_usd(i));
+    }
+    return r;
+  };
+
+  std::string json1, json4;
+  std::vector<double> ledger1, ledger4;
+  const auto serial = run_with(1, json1, ledger1);
+  const auto parallel = run_with(4, json4, ledger4);
+  EXPECT_EQ(serial.fingerprint(), parallel.fingerprint());
+  EXPECT_EQ(serial.events, parallel.events);
+  EXPECT_EQ(serial.rate_events, parallel.rate_events);
+  EXPECT_EQ(ledger1, ledger4);  // exact: every session's delivered + billed
+  EXPECT_EQ(json1, json4);      // byte-identical metrics snapshot
+  EXPECT_EQ(serial.completed, cfg.n_ues);
 }
 
 TEST(ScaleTraffic, PacketModeRefusesAbsurdN) {

@@ -44,5 +44,27 @@ TEST(ScaleCurve, ArenaWorkingSetStaysCacheResident) {
   EXPECT_EQ(r.negative_residuals, 0u);
 }
 
+TEST(ScaleCurve, MillionUesCompleteWithinEventBudget) {
+  // The headline point (ISSUE 8 / ROADMAP item 1): one million fluid UEs run
+  // to completion. Trimmed relative to the committed bench point (smaller
+  // flows, no mid-flow resampling) so the test stays in single-digit
+  // seconds while still exercising the incremental order bookkeeping and
+  // the dirty-epoch drain at full population.
+  scenario::ScaleTrafficConfig cfg;
+  cfg.mode = scenario::TrafficMode::Fluid;
+  cfg.n_ues = 1000000;
+  cfg.seed = cb::test::seed_or(23);
+  cfg.mean_flow_mbytes = 2.0;
+  cfg.start_window_s = 10.0;
+  cfg.horizon_s = 7200.0;
+  const auto r = scenario::run_scale_traffic(cfg);
+  EXPECT_EQ(r.completed, cfg.n_ues);
+  EXPECT_EQ(r.negative_residuals, 0u);
+  // Event budget: O(flows-per-cell) per flow, nowhere near packet counts.
+  EXPECT_LT(static_cast<double>(r.events) / cfg.n_ues, 16.0);
+  // Arena working set stays within the 74 B/session SoA budget (~71 MB).
+  EXPECT_LT(r.arena_bytes, 80u * 1024 * 1024);
+}
+
 }  // namespace
 }  // namespace cb::traffic

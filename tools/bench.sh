@@ -140,6 +140,36 @@ for p in curve:
     for k in ("wall_s", "sim_s", "sim_per_wall", "peak_rss_mb", "events"):
         assert k in p, f"scale curve point missing {k}: {p}"
 
+# Parallel-drain determinism gate (DESIGN.md §13): the same seed run at 1 and
+# 4 fluid threads must produce bit-identical fingerprints and byte-identical
+# metrics snapshots. Any divergence means the drain commit order leaked.
+thread_agreement = scale_raw["thread_agreement"]
+assert thread_agreement["pass"], \
+    f"fluid thread-count determinism FAILED: {thread_agreement}"
+
+if not smoke:
+    # Full runs must carry the headline point: the 1M-UE curve entry, fully
+    # completed (the smoke curve stops earlier and is schema-only).
+    assert curve[-1]["n_ues"] == 1000000, \
+        f"full scale curve missing the 1M-UE point (last: {curve[-1]})"
+    # Scale-curve regression guard: compare sim-seconds-per-wall-second
+    # against the previously committed freeze and fail on a >20% drop at any
+    # matching population — catches hot-path regressions before they are
+    # frozen over. (Smoke numbers are noise; guard full runs only.)
+    try:
+        prev = {p["n_ues"]: p
+                for p in json.load(open("BENCH_scale.json"))["scale_curve"]}
+    except (OSError, KeyError, ValueError):
+        prev = {}
+    for p in curve:
+        old = prev.get(p["n_ues"], {})
+        if "sim_per_wall" in old:
+            floor = 0.8 * old["sim_per_wall"]
+            assert p["sim_per_wall"] >= floor, (
+                "scale-curve regression at %d UEs: sim_per_wall %.2f < 80%% "
+                "of committed %.2f" % (p["n_ues"], p["sim_per_wall"],
+                                       old["sim_per_wall"]))
+
 scale = {
     "bench": "scale_users",
     "mode": scale_raw["mode"],
@@ -149,12 +179,15 @@ scale = {
     # baseline; the fluid axis is timed separately (fluid_wall_s).
     "current": {"wall_s": scale_raw["wall_s"], "threads": scale_raw["threads"],
                 "thread_pool": scale_raw["thread_pool"],
-                "fluid_wall_s": scale_raw["fluid_wall_s"]},
+                "fluid_wall_s": scale_raw["fluid_wall_s"],
+                "fluid_threads": scale_raw["fluid_threads"],
+                "rss_mode": scale_raw["rss_mode"]},
     "speedup": {"wall": round(SCALE_BASE_WALL_S / scale_raw["wall_s"], 2)},
     "instrumentation": instrumentation,
     "points": scale_raw["points"],
     "scale_curve": curve,
     "agreement": agreement,
+    "thread_agreement": thread_agreement,
     # Deterministic obs snapshot of the run (see DESIGN.md §9): SAP latency
     # histograms, attach/report counters, flight-recorder fingerprint.
     "metrics": scale_raw["metrics"],

@@ -23,8 +23,11 @@ run_suite() {
   # Tests are labeled unit / property / fuzz / scale (ctest -L <tier>
   # selects one). The fuzz corpus is excluded here and run in its own leg
   # below, where a violation also produces a shrunk repro file instead of a
-  # bare failure. The scale-labeled mid-size fluid runs are Release-only —
-  # far too slow under the sanitizers.
+  # bare failure. The scale-labeled runs (mid-size fluid sweeps and the
+  # 1M-UE curve point) are Release-only — far too slow under the
+  # sanitizers. The incremental-water-fill churn property tests are NOT
+  # scale-labeled on purpose: they run in this ASan leg, where an
+  # order-vector bookkeeping bug shows up as a concrete memory error.
   ctest --test-dir "$build_dir" --output-on-failure -LE "$exclude"
 }
 
@@ -42,9 +45,12 @@ echo "=== packet-vs-fluid agreement gate (Release) ==="
 # The hybrid traffic engine's correctness contract (DESIGN.md §11): the same
 # seeded workload through fluid and packet fidelity must agree byte-exactly
 # on delivered bytes + billing and within tolerance on completion times.
+# --fluid-threads 4 runs the curve through the parallel reallocation drain,
+# whose results must be bit-identical to serial (DESIGN.md §13) — the bench
+# also re-checks that internally via its 1-vs-4-thread fingerprint gate.
 # The bench exits nonzero on disagreement — a hard CI failure.
-build/bench/bench_scale_users --smoke --fluid --no-metrics >/dev/null || {
-  echo "agreement gate FAILED — rerun: build/bench/bench_scale_users --smoke --fluid"
+build/bench/bench_scale_users --smoke --fluid --fluid-threads 4 --no-metrics >/dev/null || {
+  echo "agreement gate FAILED — rerun: build/bench/bench_scale_users --smoke --fluid --fluid-threads 4"
   exit 1
 }
 echo "agreement gate ok"
@@ -84,7 +90,8 @@ scale = json.load(open("BENCH_scale.json"))
 for doc, keys in ((sap, ("bench", "mode", "baseline", "current", "speedup")),
                   (scale, ("bench", "mode", "baseline", "current", "speedup",
                            "instrumentation", "points", "scale_curve",
-                           "agreement", "metrics", "broker_shards"))):
+                           "agreement", "thread_agreement", "metrics",
+                           "broker_shards"))):
     missing = [k for k in keys if k not in doc]
     assert not missing, f"{doc.get('bench')}: missing keys {missing}"
 assert sap["bench"] == "sap_crypto" and scale["bench"] == "scale_users"
@@ -95,11 +102,20 @@ assert all(k in scale["points"][0] for k in ("n_ues", "arch", "loss", "mean_ms",
 # Fluid scale curve + agreement gate (DESIGN.md §11): every point complete,
 # wall/sim/RSS reported, and the two fidelity modes in agreement.
 assert scale["current"]["threads"] >= 1 and "fluid_wall_s" in scale["current"]
+assert scale["current"]["fluid_threads"] >= 1
+assert scale["current"]["rss_mode"] in ("reset", "delta")
 for p in scale["scale_curve"]:
     assert p["completed"] == p["n_ues"], f"incomplete scale point: {p}"
     assert all(k in p for k in ("wall_s", "sim_s", "sim_per_wall",
                                 "peak_rss_mb", "events", "rate_events"))
 assert scale["agreement"]["pass"], f"agreement gate failed: {scale['agreement']}"
+
+# Parallel-drain determinism gate (DESIGN.md §13): same seed at 1 and N
+# fluid threads must be bit-identical — fingerprint and metrics snapshot.
+ta = scale["thread_agreement"]
+assert ta["pass"] and ta["fingerprint_match"] and ta["metrics_match"], \
+    f"fluid thread-count determinism failed: {ta}"
+assert ta["threads"] > 1
 
 # Observability snapshot schema (DESIGN.md §9): the four sections, the SAP
 # latency histogram with its full summary tuple, the attach + report-
