@@ -143,6 +143,9 @@ ScaleTrafficConfig curve_config(int n_ues, int fluid_threads = 1) {
 /// and 4 drain threads must produce the same fingerprint (delivered bytes,
 /// billing, segment ledger, event counts — all folded in) and byte-identical
 /// metrics snapshots. Mismatch exits nonzero, like the agreement gate.
+/// Necessary but not sufficient: a preemption-timing-dependent data race can
+/// pass output equality on virtually every run, so the race class itself is
+/// checked by the TSan leg in tools/ci.sh, not by this gate.
 struct ThreadAgreement {
   int n_ues = 0;
   unsigned threads = 4;

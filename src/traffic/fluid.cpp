@@ -30,6 +30,16 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 // cells to threads is racy on purpose — but cells are disjoint and every
 // observable side effect lives in a per-cell outcome slot committed later in
 // cell-id order, so the race is invisible in the results.
+//
+// Generation retirement: run() may not return — and the next run() may not
+// reset next_/task_ — while any helper is still inside claim_loop for the
+// current generation. Otherwise a helper that finished the last item could
+// loop back to next_.fetch_add after the counter was reset and claim index 0
+// of the NEXT drain with the PREVIOUS, already-destroyed task. active_ counts
+// helpers inside claim_loop; run() waits for done_ == total_ AND active_ == 0,
+// and nulls task_ under the lock so a late-waking helper sees the generation
+// is already retired. The TSan CI leg runs the thread-identity test against
+// exactly this protocol.
 // ---------------------------------------------------------------------------
 class FluidEngine::FillPool {
  public:
@@ -60,8 +70,11 @@ class FluidEngine::FillPool {
     }
     cv_start_.notify_all();
     claim_loop(task, n);
+    // Wait for every item to be done AND every helper to have left
+    // claim_loop: only then is it safe for the caller to destroy `task` and
+    // for the next run() to reset next_/task_ (see class comment).
     std::unique_lock<std::mutex> l(mu_);
-    cv_done_.wait(l, [&] { return done_ == total_; });
+    cv_done_.wait(l, [&] { return done_ == total_ && active_ == 0; });
     task_ = nullptr;
   }
 
@@ -86,10 +99,19 @@ class FluidEngine::FillPool {
         cv_start_.wait(l, [&] { return stop_ || gen_ != seen; });
         if (stop_) return;
         seen = gen_;
+        // task_ is nulled (under mu_) when a generation retires, so a helper
+        // that wakes after run() already returned sees nullptr and parks
+        // again instead of touching a destroyed task.
+        if (task_ == nullptr) continue;
         task = task_;
         n = total_;
+        ++active_;
       }
-      if (task != nullptr) claim_loop(*task, n);
+      claim_loop(*task, n);
+      {
+        std::lock_guard<std::mutex> l(mu_);
+        if (--active_ == 0) cv_done_.notify_all();
+      }
     }
   }
 
@@ -99,6 +121,7 @@ class FluidEngine::FillPool {
   std::size_t total_ = 0;
   std::atomic<std::size_t> next_{0};
   std::size_t done_ = 0;
+  std::size_t active_ = 0;  // helpers currently inside claim_loop
   std::uint64_t gen_ = 0;
   bool stop_ = false;
   std::vector<std::thread> threads_;
@@ -333,13 +356,29 @@ void FluidEngine::commit_outcome(std::uint32_t cell_id, CellOutcome& out) {
                                       [this, cell_id] { fire(cell_id); });
   }
   if (on_rate_share) {
-    for (const auto& [id, rate] : out.ghost_changes) on_rate_share(id, rate);
+    const std::uint64_t seq = c.fill_seq;
+    for (const auto& [id, rate] : out.ghost_changes) {
+      if (c.fill_seq == seq) {
+        on_rate_share(id, rate);
+      } else if (arena_.mode(id) == FlowMode::Packet) {
+        // A handler above demoted/promoted in THIS cell: fill_cell_now has
+        // already committed fresh shares, so our remaining entries are
+        // stale. Replay each at the current arena share (the inline fill
+        // only reported ghosts that moved relative to values we wrote, so
+        // skipping would lose updates), dropping flows no longer in packet
+        // mode.
+        on_rate_share(id, arena_.rate_bps(id));
+      }
+    }
   }
 }
 
 void FluidEngine::fill_cell_now(std::uint32_t cell_id) {
   Cell& c = cells_[cell_id];
   c.dirty = false;  // a stale drain_queue_ entry just becomes a no-op
+  // Invalidate any not-yet-committed outcome the current drain holds for
+  // this cell: this fill is fresher (see the supersession check in drain()).
+  ++c.fill_seq;
   // Local outcome, not a shared scratch: an on_rate_share handler fired by
   // the commit may re-enter the engine (e.g. a cap change), and a nested
   // fill must not clobber the outcome being committed.
@@ -390,7 +429,13 @@ void FluidEngine::drain() {
 
   const std::size_t n = drain_cells_.size();
   if (drain_outcomes_.size() < n) drain_outcomes_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) drain_outcomes_[i].reset();
+  for (std::size_t i = 0; i < n; ++i) {
+    drain_outcomes_[i].reset();
+    // Stamp the outcome with the cell's fill generation; fill_cell_now can
+    // only run from the main-thread commit loop below, so nothing moves the
+    // stamp between here and the cell's fill.
+    drain_outcomes_[i].fill_seq = cells_[drain_cells_[i]].fill_seq;
+  }
 
   if (pool_ && n > 1) {
     // Parallel phase: workers write only their own cell's arena rows and
@@ -407,7 +452,35 @@ void FluidEngine::drain() {
   // event scheduling, and ghost-share callbacks happen in the same order at
   // any thread count — bit-identical to the serial engine. A callback that
   // re-dirties a cell schedules a fresh drain event at this timestamp.
-  for (std::size_t i = 0; i < n; ++i) commit_outcome(drain_cells_[i], drain_outcomes_[i]);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t cell_id = drain_cells_[i];
+    CellOutcome& out = drain_outcomes_[i];
+    if (cells_[cell_id].fill_seq != out.fill_seq) {
+      // An earlier commit's callback demoted/promoted a flow in this cell,
+      // and fill_cell_now already committed fresh rates, a fresh completion
+      // event, and fresh ghost shares. Committing this outcome would cancel
+      // that event and replay stale shares — keep only its ledger deltas,
+      // which the inline fill cannot have banked (no sim time passed since
+      // our fill, so its accrual window was empty).
+      segment_bytes_ += out.segment_bytes;
+      clamped_bytes_ += out.clamped_bytes;
+      negative_residuals_ += out.negative_residuals;
+      if (on_rate_share) {
+        // The inline fill records ghost changes against the arena values OUR
+        // fill wrote — which the consumer never heard — so a share this
+        // outcome moved may look "unchanged" to it and go unpublished.
+        // Replay the CURRENT arena share (never this outcome's stale value)
+        // for each ghost we touched, skipping flows the callbacks meanwhile
+        // promoted or finished.
+        for (const auto& [id, stale_rate] : out.ghost_changes) {
+          (void)stale_rate;
+          if (arena_.mode(id) == FlowMode::Packet) on_rate_share(id, arena_.rate_bps(id));
+        }
+      }
+      continue;
+    }
+    commit_outcome(cell_id, out);
+  }
 }
 
 // --- completion -------------------------------------------------------------

@@ -39,6 +39,13 @@
 // thread commits outcomes — ledger sums, completion-event scheduling,
 // on_rate_share callbacks — strictly in ascending cell-id order. Any thread
 // count therefore produces bit-identical results to the serial engine.
+// Commit-time callbacks (on_rate_share / on_complete) may re-enter the
+// engine synchronously: mutations that mark_dirty coalesce into a fresh
+// drain at the same timestamp, and demote()/promote() fill their cell
+// inline — if that cell's outcome from the CURRENT drain has not committed
+// yet, the inline fill supersedes it (per-cell fill sequence numbers) and
+// only its ledger deltas are kept, never its stale rates, completion event,
+// or ghost shares.
 //
 // Byte accounting is per-cell and lazy: each cell remembers when it last
 // accrued, and any mutation (or a completion event) first banks
@@ -156,6 +163,11 @@ class FluidEngine {
     std::vector<SessionId> order;
     TimePoint last_accrual;
     sim::EventHandle next_completion;
+    /// Bumped by every fill_cell_now (demote/promote/flush path). A drain
+    /// outcome filled under an older value was superseded by an inline fill
+    /// fired from a commit-time callback; the commit loop then keeps only
+    /// its ledger deltas (see drain()).
+    std::uint64_t fill_seq = 0;
     bool dirty = false;   // needs a fill at the current timestamp
     bool queued = false;  // present in drain_queue_
   };
@@ -170,6 +182,9 @@ class FluidEngine {
     double min_completion_s = 0.0;
     /// Ghost flows whose published share changed, in fill order.
     std::vector<std::pair<SessionId, double>> ghost_changes;
+    /// The cell's fill_seq when this outcome was filled; a mismatch at
+    /// commit time means an inline fill superseded it.
+    std::uint64_t fill_seq = 0;
     void reset();
   };
 

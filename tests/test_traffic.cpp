@@ -152,6 +152,82 @@ TEST(Fluid, GhostReservationConservesCellCapacity) {
   EXPECT_DOUBLE_EQ(arena.residual_bytes(0), 1e9 - 5e6);
 }
 
+TEST(Fluid, CommitCallbackDemoteMidDrainSupersedes) {
+  // Commit-time re-entrancy (DESIGN.md §13): an on_rate_share handler fired
+  // while a drain is committing may synchronously mutate a cell whose
+  // outcome from the SAME drain has not committed yet. The inline fill from
+  // demote() must supersede that outcome — its stale ghost shares must never
+  // be replayed after the fresh ones, its stale completion event must not be
+  // scheduled — while its accrual (banked before the handler ran) still
+  // reaches the ledger, and a ghost only the stale outcome reported is
+  // replayed at the CURRENT share rather than dropped.
+  sim::Simulator sim(1);
+  SessionArena arena(4);
+  FluidEngine eng(sim, arena);
+  const std::uint32_t c0 = eng.add_cell(20e6);
+  const std::uint32_t c1 = eng.add_cell(30e6);
+  arena.create(c0, 1.0f, 0.0);  // 0: ghost in c0 (the re-entrancy trigger)
+  arena.create(c0, 1.0f, 0.0);  // 1: fluid in c0
+  arena.create(c1, 1.0f, 0.0);  // 2: fluid in c1, demoted by the handler
+  arena.create(c1, 1.0f, 0.0);  // 3: ghost in c1 (the stale-share victim)
+
+  std::vector<std::pair<SessionId, double>> published;
+  bool reacted = false;
+  eng.on_rate_share = [&](SessionId id, double share) {
+    published.emplace_back(id, share);
+    if (id == 0 && share == 20e6 && !reacted) {
+      // Fired from the drain's commit of c0, with c1's outcome still
+      // pending: grow c1 (deferred, dirty) and demote its fluid flow —
+      // fill_cell_now(c1) commits fresh 40 Mb/s shares inline, making the
+      // pending outcome (30 Mb/s shares, a completion event for flow 2)
+      // stale mid-drain.
+      reacted = true;
+      eng.set_cell_capacity(c1, 80e6);
+      eng.demote(2);
+    }
+  };
+
+  eng.start_flow(0, 1e9);
+  eng.start_flow(1, 1e9);
+  eng.start_flow(2, 1e9);
+  eng.start_flow(3, 1e9);
+  eng.demote(0);  // publishes (0, 10e6)
+  eng.demote(3);  // publishes (3, 15e6)
+  // Same-timestamp capacity bumps dirty both cells into one drain; c0
+  // commits first (ascending cell id) and its ghost-share bump triggers the
+  // handler above.
+  sim.schedule(Duration::seconds(2.0), [&] {
+    eng.set_cell_capacity(c0, 40e6);
+    eng.set_cell_capacity(c1, 60e6);
+  });
+  sim.run();
+
+  // Flow 1 (the only remaining fluid flow) must still complete — a stale
+  // commit for c1 must not have perturbed c0's completion machinery.
+  EXPECT_EQ(arena.mode(1), FlowMode::Done);
+  EXPECT_DOUBLE_EQ(arena.delivered_bytes(1), 1e9);
+  // Final shares: flow 0 alone in c0 at 40 Mb/s; c1's ghosts split 80 Mb/s.
+  EXPECT_DOUBLE_EQ(arena.rate_bps(0), 40e6);
+  EXPECT_DOUBLE_EQ(arena.rate_bps(2), 40e6);
+  EXPECT_DOUBLE_EQ(arena.rate_bps(3), 40e6);
+  // The full publication log, in order. At t=2 the fresh inline fill
+  // publishes (2, 40e6) and (3, 40e6); the superseded outcome then replays
+  // ghost 3 at the CURRENT share — (3, 40e6) again, never its stale 30e6 —
+  // and flow 1's completion later re-fills c0, bumping ghost 0 to 40 Mb/s.
+  const std::vector<std::pair<SessionId, double>> expected = {
+      {0, 10e6}, {3, 15e6},              // t=0 demotions
+      {0, 20e6},                         // t=2 drain, c0 commit (trigger)
+      {2, 40e6}, {3, 40e6}, {3, 40e6},   // inline fill, then stale-skip replay
+      {0, 40e6},                         // flow 1 completes, c0 re-fills
+  };
+  EXPECT_EQ(published, expected);
+  // Ledger still conserves: flow 1's 1e9 fluid bytes plus flow 2's 2 s at
+  // 15 Mb/s before its demotion — the accrual banked by the superseded
+  // outcome must not be dropped with it.
+  EXPECT_NEAR(eng.segment_bytes(), 1e9 + 2.0 * 15e6 / 8.0, 1.0);
+  EXPECT_EQ(eng.negative_residuals(), 0u);
+}
+
 TEST(Fluid, PromoteAfterPacketWindowDoesNotDoubleCount) {
   // Regression: promote() must accrue the cell BEFORE flipping the mode back
   // to Fluid. Sim time advances between demote and promote here — if the

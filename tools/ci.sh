@@ -38,6 +38,28 @@ else
   echo "skipped (--skip-sanitized)"
 fi
 
+echo "=== thread-sanitized drain check (TSan, fluid parallel phase) ==="
+# The bench's 1-vs-4-thread fingerprint gate is weak evidence against a data
+# race in the FillPool: a preemption-timing-dependent race (e.g. a lagging
+# worker crossing a drain-generation boundary) passes an output-equality
+# check on virtually every run. TSan detects the unsynchronized accesses
+# themselves, so run the multithreaded drain tests under it — small N is
+# fine, every parallel-phase path (claim loop, outcome slots, generation
+# retirement) executes regardless of population. TSan is incompatible with
+# ASan, hence its own build; only the traffic test binary is built.
+if [[ "${1:-}" != "--skip-sanitized" ]]; then
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCB_SANITIZE=thread
+  cmake --build build-tsan -j "$(nproc)" --target test_traffic
+  TSAN_OPTIONS=halt_on_error=1 \
+    ./build-tsan/tests/test_traffic --gtest_filter='ScaleTraffic.FluidThreads*' || {
+    echo "TSan drain check FAILED — data race in the parallel fill phase"
+    exit 1
+  }
+  echo "TSan drain check ok"
+else
+  echo "skipped (--skip-sanitized)"
+fi
+
 echo "=== release build (incl. scale-labeled fluid tests) ==="
 run_suite build fuzz -DCMAKE_BUILD_TYPE=Release
 
