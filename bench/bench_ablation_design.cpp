@@ -10,10 +10,15 @@
 //  C. Broker placement — SAP's single round-trip means attach latency (the
 //     paper's d) degrades linearly with broker RTT; this quantifies how
 //     far a broker can sit before d hurts the drive workload.
+//  D. Attach protocol — the protocol axis (eps_aka | 5g_aka | sap |
+//     sap_resume) under the same us-west-1 placement: 5G-AKA's third home
+//     round-trip vs SAP's single broker trip vs the ticket-resume re-attach
+//     that needs no broker at all (DESIGN.md §14).
 #include <cstdio>
 
 #include "obs/metrics.hpp"
 #include "apps/iperf.hpp"
+#include "scenario/attach_experiment.hpp"
 #include "scenario/world.hpp"
 
 using namespace cb;
@@ -101,7 +106,23 @@ int main() {
                 rtt_ms, drive_goodput_mbps(Duration::ms(500), Duration::millis(rtt_ms)));
   }
   std::printf("(d = 24.5 ms processing + broker RTT; even a cross-continent broker\n"
-              " costs little because d is small next to the MPTCP wait + slow start)\n");
+              " costs little because d is small next to the MPTCP wait + slow start)\n\n");
+
+  std::printf("=== Ablation D: attach protocol (us-west-1 placement, 40 cycles) ===\n");
+  std::printf("%-12s %12s %12s %10s %10s\n", "protocol", "attach (ms)", "resume (ms)",
+              "resumes", "fallbacks");
+  for (AttachProtocol proto : {AttachProtocol::EpsAka, AttachProtocol::Aka5g,
+                               AttachProtocol::Sap, AttachProtocol::SapResume}) {
+    const AttachBreakdown b = run_attach_experiment(proto, Duration::millis(7.2), 40);
+    if (proto == AttachProtocol::SapResume) {
+      std::printf("%-12s %12.2f %12.2f %10d %10d\n", to_string(proto), b.total_ms, b.resume_ms,
+                  b.resumes, b.resume_fallbacks);
+    } else {
+      std::printf("%-12s %12.2f %12s %10s %10s\n", to_string(proto), b.total_ms, "-", "-", "-");
+    }
+  }
+  std::printf("(5g_aka pays a third HSS round-trip + SUCI/RES* crypto over eps_aka;\n"
+              " sap_resume's ticket re-attach cuts the broker leg out of d entirely)\n");
   std::printf("\n%s\n", metrics.digest().c_str());
   return 0;
 }

@@ -6,7 +6,17 @@
 // pays one round-trip to brokerd plus ~2 ms of crypto. CB therefore loses
 // slightly when the DB is local and wins increasingly as it moves away
 // (paper: -14.0% at us-west-1, -40.8% at us-east-1).
+//
+// The protocol sweep below runs the same cycle under every attach protocol
+// (eps_aka | 5g_aka | sap | sap_resume) per placement — the per-protocol
+// attach-latency baseline that tools/bench.sh freezes into BENCH_sap.json.
+//
+// Usage: bench_fig7_attach_latency [--smoke] [--json FILE]
+//   --smoke  8 attach cycles per cell instead of 100 (schema validation
+//            only; smoke numbers are not representative)
+//   --json   write the per-protocol sweep as machine-readable JSON to FILE
 #include <cstdio>
+#include <cstring>
 
 #include "obs/metrics.hpp"
 #include "scenario/attach_experiment.hpp"
@@ -29,9 +39,26 @@ constexpr PaperRef kPaper[] = {
     {"us-east-1", 166.48, 98.62},
 };
 
+constexpr AttachProtocol kProtocols[] = {AttachProtocol::EpsAka, AttachProtocol::Aka5g,
+                                         AttachProtocol::Sap, AttachProtocol::SapResume};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_fig7_attach_latency [--smoke] [--json FILE]\n");
+      return 2;
+    }
+  }
+  const int n = smoke ? 8 : 100;
+
   // Root obs registry: per-trial metrics merge here in index order
   // (TrialRunner) and the digest prints as the bench footer.
   obs::Registry metrics;
@@ -39,7 +66,7 @@ int main() {
 
   std::printf("=== Fig.7: attachment latency breakdown (BL = Magma/EPC baseline, "
               "CB = CellBricks/SAP) ===\n");
-  std::printf("100 attach requests per cell; radio/RRC time excluded, as in the paper.\n\n");
+  std::printf("%d attach requests per cell; radio/RRC time excluded, as in the paper.\n\n", n);
   std::printf("%-11s %-4s %10s %12s %8s %8s %8s   %s\n", "placement", "arch", "total(ms)",
               "agw+core", "eNB", "UE", "other", "paper-total(ms)");
 
@@ -48,7 +75,7 @@ int main() {
     const auto& p = placements[i];
     double totals[2] = {0, 0};
     for (Architecture arch : {Architecture::Mno, Architecture::CellBricks}) {
-      const AttachBreakdown b = run_attach_experiment(arch, p.cloud_rtt, 100);
+      const AttachBreakdown b = run_attach_experiment(arch, p.cloud_rtt, n);
       const bool cb = arch == Architecture::CellBricks;
       totals[cb ? 1 : 0] = b.total_ms;
       std::printf("%-11s %-4s %10.2f %12.2f %8.2f %8.2f %8.2f   %.2f\n", p.name.c_str(),
@@ -63,6 +90,56 @@ int main() {
   }
   std::printf("Shape check: CB ~equal locally, faster with remote DB because SAP needs one\n"
               "broker round-trip where the S6A baseline needs two (AIR + ULR).\n");
+
+  // --- Per-protocol sweep ----------------------------------------------------
+  std::printf("\n=== Per-protocol attach latency (same cycle, all four protocols) ===\n");
+  std::printf("%-11s %-11s %10s %10s %10s %10s\n", "placement", "protocol", "attach(ms)",
+              "resume(ms)", "resumes", "fallbacks");
+  FILE* json = nullptr;
+  if (json_path != nullptr) {
+    json = std::fopen(json_path, "w");
+    if (json == nullptr) {
+      std::perror("bench_fig7_attach_latency: --json open");
+      return 2;
+    }
+    std::fprintf(json, "{\n  \"bench\": \"fig7_attach\",\n  \"mode\": \"%s\",\n"
+                       "  \"placements\": [\n",
+                 smoke ? "smoke" : "full");
+  }
+  for (std::size_t i = 0; i < placements.size(); ++i) {
+    const auto& p = placements[i];
+    if (json != nullptr) {
+      std::fprintf(json, "    {\"placement\": \"%s\", \"cloud_rtt_ms\": %.2f, \"protocols\": {",
+                   p.name.c_str(), p.cloud_rtt.to_millis());
+    }
+    for (std::size_t j = 0; j < std::size(kProtocols); ++j) {
+      const AttachProtocol proto = kProtocols[j];
+      const AttachBreakdown b = run_attach_experiment(proto, p.cloud_rtt, n);
+      if (proto == AttachProtocol::SapResume) {
+        std::printf("%-11s %-11s %10.2f %10.2f %10d %10d\n", p.name.c_str(), to_string(proto),
+                    b.total_ms, b.resume_ms, b.resumes, b.resume_fallbacks);
+      } else {
+        std::printf("%-11s %-11s %10.2f %10s %10s %10s\n", p.name.c_str(), to_string(proto),
+                    b.total_ms, "-", "-", "-");
+      }
+      if (json != nullptr) {
+        std::fprintf(json,
+                     "%s\n      \"%s\": {\"attach_ms\": %.3f, \"attaches\": %d, "
+                     "\"resume_ms\": %.3f, \"resumes\": %d, \"fallbacks\": %d}",
+                     j == 0 ? "" : ",", to_string(proto), b.total_ms, b.attaches, b.resume_ms,
+                     b.resumes, b.resume_fallbacks);
+      }
+    }
+    if (json != nullptr) {
+      std::fprintf(json, "}}%s\n", i + 1 < placements.size() ? "," : "");
+    }
+  }
+  if (json != nullptr) {
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+  }
+  std::printf("(5g_aka pays a third home round-trip over eps_aka; sap_resume's resume\n"
+              " column is the local-verification re-attach — no broker on the path)\n");
   std::printf("\n%s\n", metrics.digest().c_str());
   return 0;
 }

@@ -6,7 +6,17 @@
 // dips toward zero (the 500 ms address_worker wait + re-attach), then ramps
 // back in slow start and briefly OVERSHOOTS the TCP line before both settle
 // at the policy rate.
+//
+// The re-attach section replays the same drive under sap_resume: the target
+// bTelco verifies the broker-minted resumption ticket locally, so the
+// re-attach d drops by the broker leg. The bench self-gates on that delta —
+// sap_resume's re-attach latency must be STRICTLY below plain sap's (the
+// number tools/bench.sh freezes into BENCH_sap.json) — and exits nonzero
+// otherwise.
+//
+// Usage: bench_fig8_handover_timeseries [--json FILE]
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -21,11 +31,14 @@ namespace {
 struct Trace {
   std::vector<double> mbps;       // per-second
   std::vector<double> handovers;  // seconds
+  Summary reattach_ms;            // attach d of every post-initial attach
+  std::uint64_t resumes = 0;
+  std::uint64_t fallbacks = 0;
 };
 
-Trace run(Architecture arch) {
+Trace run(AttachProtocol protocol) {
   WorldConfig cfg;
-  cfg.arch = arch;
+  cfg.protocol = protocol;
   cfg.seed = 42;
   cfg.n_towers = 3;
   // ~20 m/s over 700 m spacing: the (single) handover lands near t=23 s
@@ -37,6 +50,14 @@ Trace run(Architecture arch) {
   world.on_cell_change = [&](ran::CellId from, ran::CellId) {
     if (from != 0) trace.handovers.push_back(world.simulator().now().to_seconds() - 8.0);
   };
+  // Per-attach d (radio excluded): everything after the first attach is a
+  // handover re-attach. Installed before start() so World chains it.
+  int attaches = 0;
+  if (world.ue_agent() != nullptr) {
+    world.ue_agent()->on_attached = [&](ran::CellId, Duration d) {
+      if (attaches++ > 0) trace.reattach_ms.add(d.to_millis());
+    };
+  }
 
   apps::IperfPushServer server(world.server_transport(), 5001, world.simulator(),
                                Duration::s(60));
@@ -53,20 +74,35 @@ Trace run(Architecture arch) {
   for (std::size_t i = first; i < rates.size() && trace.mbps.size() < 50; ++i) {
     trace.mbps.push_back(rates[i] * 8.0 / 1e6);
   }
+  if (world.ue_agent() != nullptr) {
+    trace.resumes = world.ue_agent()->resumes_succeeded();
+    trace.fallbacks = world.ue_agent()->resume_fallbacks();
+  }
   return trace;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_fig8_handover_timeseries [--json FILE]\n");
+      return 2;
+    }
+  }
+
   // Root obs registry: per-trial metrics merge here in index order
   // (TrialRunner) and the digest prints as the bench footer.
   obs::Registry metrics;
   obs::ScopedRegistry scoped(&metrics);
 
   std::printf("=== Fig.8: iperf throughput around a handover (Day policy) ===\n\n");
-  const Trace mno = run(Architecture::Mno);
-  const Trace cbr = run(Architecture::CellBricks);
+  const Trace mno = run(AttachProtocol::EpsAka);
+  const Trace cbr = run(AttachProtocol::Sap);
+  const Trace cbt = run(AttachProtocol::SapResume);
 
   std::printf("%4s %12s %12s\n", "t(s)", "MNO(mbps)", "CB(mbps)");
   for (std::size_t t = 0; t < 50; ++t) {
@@ -96,6 +132,49 @@ int main() {
     std::printf("  after  [h+2,h+7): %.2f mbps (paper: ramps back, briefly overshoots)\n",
                 avg(cbr.mbps, h + 2, h + 7));
   }
+
+  // --- Re-attach latency: sap vs sap_resume ---------------------------------
+  std::printf("\n=== Handover re-attach latency d (radio excluded) ===\n");
+  const double sap_ms = cbr.reattach_ms.empty() ? 0.0 : cbr.reattach_ms.mean();
+  const double resume_ms = cbt.reattach_ms.empty() ? 0.0 : cbt.reattach_ms.mean();
+  std::printf("  sap        : %7.2f ms mean over %zu re-attach(es)\n", sap_ms,
+              cbr.reattach_ms.count());
+  std::printf("  sap_resume : %7.2f ms mean over %zu re-attach(es), %llu resumed, "
+              "%llu fallback(s)\n",
+              resume_ms, cbt.reattach_ms.count(),
+              static_cast<unsigned long long>(cbt.resumes),
+              static_cast<unsigned long long>(cbt.fallbacks));
+  const double delta_ms = sap_ms - resume_ms;
+  const bool pass = !cbr.reattach_ms.empty() && !cbt.reattach_ms.empty() && cbt.resumes > 0 &&
+                    resume_ms < sap_ms;
+  std::printf("  delta      : %7.2f ms (ticket resume skips the broker round-trip)\n", delta_ms);
+
+  if (json_path != nullptr) {
+    FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::perror("bench_fig8_handover_timeseries: --json open");
+      return 2;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"fig8_handover\",\n  \"reattach\": {\n"
+                 "    \"sap\": {\"mean_ms\": %.3f, \"count\": %zu},\n"
+                 "    \"sap_resume\": {\"mean_ms\": %.3f, \"count\": %zu, "
+                 "\"resumes\": %llu, \"fallbacks\": %llu},\n"
+                 "    \"delta_ms\": %.3f,\n    \"pass\": %s\n  }\n}\n",
+                 sap_ms, cbr.reattach_ms.count(), resume_ms, cbt.reattach_ms.count(),
+                 static_cast<unsigned long long>(cbt.resumes),
+                 static_cast<unsigned long long>(cbt.fallbacks), delta_ms,
+                 pass ? "true" : "false");
+    std::fclose(f);
+  }
+
   std::printf("\n%s\n", metrics.digest().c_str());
+  if (!pass) {
+    std::fprintf(stderr,
+                 "FAIL: sap_resume re-attach latency (%.2f ms) is not strictly below "
+                 "sap (%.2f ms)\n",
+                 resume_ms, sap_ms);
+    return 1;
+  }
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "cellbricks/brokerd.hpp"
 
 #include "common/log.hpp"
+#include "crypto/batch_verify.hpp"
 #include "obs/metrics.hpp"
 
 namespace cb::cellbricks {
@@ -60,6 +61,8 @@ void Brokerd::handle(const net::Packet& packet) {
                        (node_.simulator().now() - arrived).to_millis());
         } else if (msg == BrokerMsg::Report) {
           handle_report(from, r);
+        } else if (msg == BrokerMsg::ResumeNotify) {
+          handle_resume_notify(from, r);
         }
       } catch (const std::out_of_range&) {
         CB_LOG(Warn, "brokerd") << "malformed message dropped";
@@ -170,33 +173,149 @@ void Brokerd::handle_report(const net::EndPoint& from, ByteReader& r) {
     } else {
       if (auto it = telco_keys_.find(reporter_id); it != telco_keys_.end()) key = &it->second;
     }
-    if (key == nullptr || !key->verify(report_bytes, sig)) {
+    if (key == nullptr) {
       ++reports_rejected_;
       obs::inc(obs::counter("broker.reports.rejected"));
-      CB_LOG(Info, "brokerd") << "report rejected: bad signature from " << reporter_id;
+      CB_LOG(Info, "brokerd") << "report rejected: unknown reporter " << reporter_id;
       return;
     }
-
-    auto report = TrafficReport::deserialize(report_bytes);
-    if (!report) {
-      ++reports_rejected_;
-      obs::inc(obs::counter("broker.reports.rejected"));
+    if (config_.batch_verify_reports) {
+      // Defer the (expensive) RSA check into the batch window; the ACK and
+      // ingestion happen at flush time, in arrival order.
+      PendingVerify pv;
+      pv.from = from;
+      pv.seq = seq;
+      pv.ack_key = ack_key;
+      pv.reporter_id = reporter_id;
+      pv.type = type;
+      pv.report_bytes = report_bytes;
+      pv.key = *key;
+      pv.sig = sig;
+      verify_queue_.push_back(std::move(pv));
+      if (!batch_timer_.pending()) {
+        batch_timer_ = node_.simulator().schedule(config_.batch_window,
+                                                  [this] { flush_report_batch(); });
+      }
       return;
     }
-    // Authenticated and decoded: ACK so the reporter stops retransmitting.
-    // Duplicates and policy rejections are acked too — retransmitting them
-    // could never change the outcome.
-    ByteWriter ack;
-    ack.u8(static_cast<std::uint8_t>(BrokerMsg::ReportAck));
-    ack.u64(seq);
-    Bytes ack_payload = ack.take();
-    report_ack_cache_[ack_key] = CachedReply{ack_payload, node_.simulator().now()};
-    ensure_sweeper();
-    reply(from, std::move(ack_payload));
-    ingest_report(reporter_id, type, report.value(), ack_key);
+    finish_report(from, seq, ack_key, reporter_id, type, report_bytes,
+                  key->verify(report_bytes, sig));
   } catch (const std::out_of_range&) {
     ++reports_rejected_;
     obs::inc(obs::counter("broker.reports.rejected"));
+  }
+}
+
+void Brokerd::flush_report_batch() {
+  if (verify_queue_.empty()) return;
+  std::vector<PendingVerify> batch;
+  batch.swap(verify_queue_);
+
+  std::vector<crypto::BatchVerifier::Job> jobs;
+  jobs.reserve(batch.size());
+  for (const PendingVerify& pv : batch) {
+    jobs.push_back(crypto::BatchVerifier::Job{pv.key, pv.report_bytes, pv.sig});
+  }
+  const crypto::BatchVerifier verifier(config_.batch_threads);
+  const std::vector<bool> ok = verifier.verify_all(jobs);
+
+  ++report_batches_;
+  reports_batch_verified_ += batch.size();
+  obs::inc(obs::counter("broker.reports.batches"));
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const PendingVerify& pv = batch[i];
+    finish_report(pv.from, pv.seq, pv.ack_key, pv.reporter_id, pv.type, pv.report_bytes,
+                  ok[i]);
+  }
+}
+
+void Brokerd::finish_report(const net::EndPoint& from, std::uint64_t seq,
+                            const std::pair<std::uint64_t, std::uint64_t>& ack_key,
+                            const std::string& reporter_id, Reporter type,
+                            const Bytes& report_bytes, bool sig_ok) {
+  if (!sig_ok) {
+    ++reports_rejected_;
+    obs::inc(obs::counter("broker.reports.rejected"));
+    CB_LOG(Info, "brokerd") << "report rejected: bad signature from " << reporter_id;
+    return;
+  }
+  auto report = TrafficReport::deserialize(report_bytes);
+  if (!report) {
+    ++reports_rejected_;
+    obs::inc(obs::counter("broker.reports.rejected"));
+    return;
+  }
+  // Authenticated and decoded: ACK so the reporter stops retransmitting.
+  // Duplicates and policy rejections are acked too — retransmitting them
+  // could never change the outcome.
+  ByteWriter ack;
+  ack.u8(static_cast<std::uint8_t>(BrokerMsg::ReportAck));
+  ack.u64(seq);
+  Bytes ack_payload = ack.take();
+  report_ack_cache_[ack_key] = CachedReply{ack_payload, node_.simulator().now()};
+  ensure_sweeper();
+  reply(from, std::move(ack_payload));
+  ingest_report(reporter_id, type, report.value(), ack_key);
+}
+
+void Brokerd::handle_resume_notify(const net::EndPoint& from, ByteReader& r) {
+  const std::uint64_t txn = r.u64();
+  const Bytes sealed = r.bytes();
+  auto opened = sap_.open_box(sealed);
+  if (!opened) return;  // no ack: a clean retransmission may still succeed
+  try {
+    ByteReader inner(opened.value());
+    const Bytes body = inner.bytes();
+    auto cert = crypto::Certificate::deserialize(inner.bytes());
+    const Bytes sig = inner.bytes();
+    if (!cert) return;
+    const crypto::Certificate& cert_t = cert.value();
+
+    ByteReader br(body);
+    const std::string id_t = br.str();
+    const std::uint64_t session_id = br.u64();
+    const Bytes ticket_id = br.bytes();
+
+    // The notifying bTelco may have NEVER authed a session through this
+    // broker (that is the point of resumption), so it authenticates with
+    // its CA certificate, exactly like an authReqT.
+    const TimePoint now = node_.simulator().now();
+    if (cert_t.subject() != id_t) return;
+    if (!crypto::CertificateAuthority::verify_signature(cert_t, sap_.ca_key())) return;
+    if (now < cert_t.not_before() || now > cert_t.not_after()) return;
+    if (!cert_t.key().verify(body, sig)) return;
+    telco_keys_[id_t] = cert_t.key();
+
+    bool revoke = false;
+    auto sit = sessions_.find(session_id);
+    if (sit == sessions_.end()) {
+      // A ticket for a session this broker never issued: order teardown.
+      revoke = true;
+    } else {
+      // Rebind the session to its new serving bTelco so subsequent traffic
+      // reports from it pair normally, and re-check the subscriber against
+      // the suspect list (reputation may have turned since the ticket was
+      // minted — revocation-on-suspect).
+      sit->second.id_t = id_t;
+      revoke = reputation_.is_suspect(sit->second.id_u);
+    }
+    ++resumes_notified_;
+    if (revoke) {
+      ++resume_revocations_;
+      obs::inc(obs::counter("broker.resume.revocations"));
+      CB_LOG(Info, "brokerd") << "resume of session " << session_id << " at " << id_t
+                              << " revoked (ticket " << to_hex(ticket_id) << ")";
+    }
+    obs::inc(obs::counter("broker.resume.notified"));
+    obs::trace(now, obs::TraceType::SapAuthOk, session_id);
+
+    ByteWriter ack;
+    ack.u8(static_cast<std::uint8_t>(BrokerMsg::ResumeNotifyAck));
+    ack.u64(txn);
+    ack.u8(revoke ? 1 : 0);
+    reply(from, ack.take());
+  } catch (const std::out_of_range&) {
+    CB_LOG(Warn, "brokerd") << "malformed resume notify dropped";
   }
 }
 

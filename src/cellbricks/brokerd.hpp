@@ -29,6 +29,11 @@ enum class BrokerMsg : std::uint8_t {
   Redirect = 6,    // u64 seq, u16 bucket, u16 owner — stale-route reply from a
                    // broker shard that does not own the session's bucket
                    // (sharded deployments only; see broker_cluster.hpp)
+  ResumeNotify = 7,     // u64 txn, bytes sealed{bytes body{str id_t, u64 session_id,
+                        // bytes ticket_id}, bytes cert_t, bytes sig_t(body)} — a bTelco
+                        // honoured a resumption ticket locally (off the attach path)
+  ResumeNotifyAck = 8,  // u64 txn, u8 revoke — revoke=1 orders the bTelco to tear the
+                        // resumed session down (suspect subscriber / unknown session)
 };
 
 class Brokerd {
@@ -57,6 +62,18 @@ class Brokerd {
     /// so the check layer can prove it detects, shrinks, and replays it.
     /// Never set outside tests.
     bool test_skip_report_dedup = false;
+    /// Amortize report-signature RSA verification with the multiplicative
+    /// batch screen (crypto/batch_verify.hpp): authenticated-but-unverified
+    /// reports queue for up to `batch_window` and are screened together, one
+    /// exponentiation per (key, window) group instead of one per report.
+    /// Default OFF: batching delays ACKs by up to the window, which shifts
+    /// event timing (golden fingerprints of existing scenarios must not
+    /// move).
+    bool batch_verify_reports = false;
+    Duration batch_window = Duration::millis(5);
+    /// Worker threads for the batch screen (0/1 = serial). Results are
+    /// committed in arrival order either way.
+    unsigned batch_threads = 0;
   };
 
   Brokerd(net::Node& node, SapBroker sap);
@@ -114,6 +131,13 @@ class Brokerd {
   std::uint64_t unpaired_expired() const { return unpaired_expired_; }
   std::uint64_t pairs_compared_total() const { return pairs_compared_total_; }
   std::uint64_t auth_denied() const { return auth_denied_; }
+  /// Ticket resumptions reported by bTelcos (and how many were ordered torn
+  /// down because the subscriber turned suspect or the session was unknown).
+  std::uint64_t resumes_notified() const { return resumes_notified_; }
+  std::uint64_t resume_revocations() const { return resume_revocations_; }
+  /// Batch-verification statistics (Config::batch_verify_reports).
+  std::uint64_t reports_batch_verified() const { return reports_batch_verified_; }
+  std::uint64_t report_batches() const { return report_batches_; }
   std::size_t pending_report_count() const { return pending_reports_.size(); }
   std::size_t reply_cache_size() const { return reply_cache_.size(); }
   /// Report retransmissions answered from the idempotent ack cache.
@@ -132,6 +156,12 @@ class Brokerd {
   void handle(const net::Packet& packet);
   void handle_auth(const net::EndPoint& from, ByteReader& r);
   void handle_report(const net::EndPoint& from, ByteReader& r);
+  void handle_resume_notify(const net::EndPoint& from, ByteReader& r);
+  void flush_report_batch();
+  void finish_report(const net::EndPoint& from, std::uint64_t seq,
+                     const std::pair<std::uint64_t, std::uint64_t>& ack_key,
+                     const std::string& reporter_id, Reporter type, const Bytes& report_bytes,
+                     bool sig_ok);
   void ingest_report(const std::string& reporter_id, Reporter type, const TrafficReport& report,
                      const std::pair<std::uint64_t, std::uint64_t>& ack_key);
   void compare_if_paired(std::uint64_t session_id, std::uint32_t period);
@@ -176,6 +206,20 @@ class Brokerd {
   std::map<std::pair<std::uint64_t, std::uint64_t>, CachedReply> report_ack_cache_;
   sim::EventHandle sweep_timer_;
 
+  /// One report waiting in the batch-verification window.
+  struct PendingVerify {
+    net::EndPoint from;
+    std::uint64_t seq = 0;
+    std::pair<std::uint64_t, std::uint64_t> ack_key{0, 0};
+    std::string reporter_id;
+    Reporter type{};
+    Bytes report_bytes;
+    crypto::RsaPublicKey key;
+    Bytes sig;
+  };
+  std::vector<PendingVerify> verify_queue_;
+  sim::EventHandle batch_timer_;
+
   Duration sap_busy_ = Duration::zero();
   std::uint64_t sessions_issued_ = 0;
   std::uint64_t reports_received_ = 0;
@@ -186,6 +230,10 @@ class Brokerd {
   std::uint64_t pairs_compared_total_ = 0;
   std::uint64_t auth_denied_ = 0;
   std::uint64_t report_ack_cache_hits_ = 0;
+  std::uint64_t resumes_notified_ = 0;
+  std::uint64_t resume_revocations_ = 0;
+  std::uint64_t reports_batch_verified_ = 0;
+  std::uint64_t report_batches_ = 0;
 };
 
 }  // namespace cb::cellbricks

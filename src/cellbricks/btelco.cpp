@@ -54,6 +54,10 @@ Btelco::Btelco(net::Network& network, net::Node& node, SapTelco sap,
         handle_redirect(txn, bucket, owner);  // txn slot carries the seq
         return;
       }
+      if (type == BrokerMsg::ResumeNotifyAck) {
+        handle_resume_notify_ack(txn, r);
+        return;
+      }
       auto it = awaiting_broker_.find(txn);
       if (it == awaiting_broker_.end()) return;
       auto continuation = std::move(it->second);
@@ -129,6 +133,162 @@ void Btelco::handle_attach(Bytes auth_req_u, net::Node* ue_node, net::Link* radi
   });
 }
 
+void Btelco::enable_resume(Bytes ticket_key) { ticket_key_ = std::move(ticket_key); }
+
+void Btelco::handle_resume(Bytes resume_req, net::Node* ue_node, net::Link* radio_link,
+                           AttachReply reply) {
+  using R = Result<std::pair<Bytes, net::Ipv4Addr>>;
+  if (crashed_) return;
+  // [AGW msg 1/2] Verify the ticket entirely locally: broker signature,
+  // expiry, STEK seal, proof-of-possession MAC, single-use, revocation.
+  queue_.submit(config_.agw_msg, [this, resume_req = std::move(resume_req), ue_node,
+                                  radio_link, reply = std::move(reply)]() mutable {
+    auto rejected = [this, &reply](std::string why) {
+      ++resumes_rejected_;
+      obs::inc(obs::counter("btelco.resume.rejected"));
+      CB_LOG(Info, "btelco") << id() << ": resume rejected: " << why;
+      reply(R::err(std::move(why)));
+    };
+    if (ticket_key_.empty()) {
+      rejected("resume: not enabled on this bTelco");
+      return;
+    }
+    auto grant = verify_resume_request(resume_req, id(), broker_cert_.key(), ticket_key_,
+                                       node_.simulator().now());
+    if (!grant) {
+      rejected(grant.error());
+      return;
+    }
+    ResumeGrant g = std::move(grant).value();
+    const std::string tid = to_hex(g.inner.ticket_id);
+    if (used_tickets_.contains(tid)) {
+      rejected("resume: ticket already used here");
+      return;
+    }
+    if (revoked_.contains(g.inner.pseudonym)) {
+      rejected("resume: subscriber revoked");
+      return;
+    }
+    if (sessions_.contains(g.inner.session_id)) {
+      rejected("resume: session already installed");
+      return;
+    }
+    used_tickets_.insert(tid);
+
+    // [AGW msg 2/2] Install the session and confirm to the UE. No broker
+    // leg on the critical path — that is the latency win.
+    queue_.submit(config_.agw_msg, [this, g = std::move(g), ue_node, radio_link,
+                                    reply = std::move(reply)]() mutable {
+      TicketAudit audit;
+      audit.ticket_id = g.inner.ticket_id;
+      audit.session_id = g.inner.session_id;
+      audit.pseudonym = g.inner.pseudonym;
+      audit.expiry_ns = g.expiry_ns;
+      audit.accepted_at_ns = static_cast<std::uint64_t>(node_.simulator().now().nanos());
+      audit.was_revoked = revoked_.contains(g.inner.pseudonym);
+      ticket_audit_.push_back(std::move(audit));
+      ++resumes_;
+      obs::inc(obs::counter("btelco.resume.accepted"));
+
+      TelcoSession ts;
+      ts.ue_pseudonym = g.inner.pseudonym;
+      ts.session_id = g.inner.session_id;
+      ts.qos = g.inner.qos;
+      ts.security = SecurityContext::derive(g.inner.ss_resume);
+      const Bytes confirm = make_resume_confirm(g, rng_);
+      const std::uint64_t sid = g.inner.session_id;
+      const Bytes ticket_id = g.inner.ticket_id;
+      install_session(ts, ue_node, radio_link, confirm, std::move(reply), g.period_base);
+      send_resume_notify(sid, ticket_id);
+    });
+  });
+}
+
+void Btelco::send_resume_notify(std::uint64_t session_id, const Bytes& ticket_id) {
+  // Authenticated like an authReqT (certificate + signature): the broker may
+  // have never seen this bTelco — local resumption is exactly the case where
+  // the serving provider skipped the auth round trip.
+  ByteWriter body;
+  body.str(id());
+  body.u64(session_id);
+  body.bytes(ticket_id);
+  ByteWriter inner;
+  inner.bytes(body.data());
+  inner.bytes(sap_.certificate().serialize());
+  inner.bytes(sap_.sign(body.data()));
+  const Bytes sealed = crypto::seal(broker_cert_.key(), inner.data(), rng_);
+
+  const std::uint64_t txn = next_notify_txn_++;
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(BrokerMsg::ResumeNotify));
+  w.u64(txn);
+  w.bytes(sealed);
+  OutstandingNotify& out = outstanding_notifies_[txn];
+  out.wire = w.take();
+  out.session_id = session_id;
+  out.attempts_left = config_.report_attempts;
+  out.next_delay = config_.report_retry;
+  obs::inc(obs::counter("btelco.resume.notify_sent"));
+  transmit_resume_notify(txn);
+}
+
+void Btelco::transmit_resume_notify(std::uint64_t txn) {
+  auto it = outstanding_notifies_.find(txn);
+  if (it == outstanding_notifies_.end() || crashed_) return;
+  OutstandingNotify& out = it->second;
+  if (out.attempts_left <= 0) {
+    // Best-effort: the session stays up (it is backed by the broker's
+    // original issuance); only the id_t rebinding and the revocation check
+    // are lost, and the report channel's own retries cover billing.
+    obs::inc(obs::counter("btelco.resume.notify_abandoned"));
+    outstanding_notifies_.erase(it);
+    return;
+  }
+  --out.attempts_left;
+  net::EndPoint dst = broker_;
+  if (router_ != nullptr) {
+    const TimePoint now = node_.simulator().now();
+    if (out.sent_once) router_->note_timeout(out.last_shard, now);
+    out.last_shard = router_->pick_for_session(out.session_id, now);
+    dst = router_->endpoint(out.last_shard);
+  }
+  out.sent_once = true;
+  net::Packet p;
+  p.src = net::EndPoint{node_.primary_address(), port_};
+  p.dst = dst;
+  p.proto = net::Proto::Udp;
+  p.payload = out.wire;
+  node_.send(std::move(p));
+  out.timer = node_.simulator().schedule(out.next_delay,
+                                         [this, txn] { transmit_resume_notify(txn); });
+  out.next_delay =
+      decorrelated_backoff(jitter_rng_, config_.report_retry, out.next_delay, Duration::s(30));
+}
+
+void Btelco::handle_resume_notify_ack(std::uint64_t txn, ByteReader& r) {
+  auto it = outstanding_notifies_.find(txn);
+  if (it == outstanding_notifies_.end()) return;
+  if (router_ != nullptr && it->second.sent_once) router_->note_ok(it->second.last_shard);
+  it->second.timer.cancel();
+  const std::uint64_t session_id = it->second.session_id;
+  outstanding_notifies_.erase(it);
+
+  const std::uint8_t revoke = r.u8();
+  if (revoke == 0) return;
+  // The broker vetoed the resumption (suspect subscriber or a session it
+  // never issued): bar the pseudonym from further resumes here and tear the
+  // session down after a final accounting report.
+  auto sit = sessions_.find(session_id);
+  if (sit != sessions_.end()) {
+    revoked_.insert(sit->second.pseudonym);
+    CB_LOG(Info, "btelco") << id() << ": broker revoked resumed session " << session_id
+                           << ", tearing down";
+    obs::inc(obs::counter("btelco.resume.revoked"));
+    send_report(session_id, /*final=*/true);
+    release_session(session_id);
+  }
+}
+
 void Btelco::send_to_broker_with_retry(std::uint64_t txn, Bytes payload, int attempts_left,
                                        int prev_shard) {
   if (!awaiting_broker_.contains(txn)) return;  // answered meanwhile
@@ -173,7 +333,8 @@ std::uint64_t Btelco::uplink_delivered_bytes(const Session& s) const {
 }
 
 void Btelco::install_session(const TelcoSession& ts, net::Node* ue_node,
-                             net::Link* radio_link, Bytes auth_resp_u, AttachReply reply) {
+                             net::Link* radio_link, Bytes auth_resp_u, AttachReply reply,
+                             std::uint32_t first_period) {
   Session s;
   s.id = ts.session_id;
   s.pseudonym = ts.ue_pseudonym;
@@ -181,6 +342,7 @@ void Btelco::install_session(const TelcoSession& ts, net::Node* ue_node,
   s.radio_link = radio_link;
   s.qos = ts.qos;
   s.security = ts.security;
+  s.next_period = first_period;
   s.started_at = node_.simulator().now();
   s.ip = network_.alloc_address(config_.ip_subnet);
   s.dl_sent_base = radio_link->counters(&node_).sent_bytes;
@@ -357,8 +519,13 @@ void Btelco::crash() {
   }
   for (auto& [seq, out] : outstanding_reports_) out.timer.cancel();
   outstanding_reports_.clear();
+  for (auto& [txn, out] : outstanding_notifies_) out.timer.cancel();
+  outstanding_notifies_.clear();
   awaiting_broker_.clear();
   gc_timer_.cancel();
+  // The used-ticket cache, the revocation list, and the audit trail survive
+  // the crash (durable, like the subscriber IP pool config): a replayed
+  // ticket must not become valid because the AGW rebooted.
   CB_LOG(Info, "btelco") << id() << ": crashed";
 }
 
@@ -367,6 +534,14 @@ void Btelco::restart() {
   crashed_ = false;
   node_.set_up(true);
   CB_LOG(Info, "btelco") << id() << ": restarted (state empty)";
+}
+
+std::vector<std::string> Btelco::session_pseudonyms() const {
+  std::vector<std::string> out;
+  out.reserve(sessions_.size());
+  for (const auto& [sid, s] : sessions_) out.push_back(s.pseudonym);
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 std::vector<std::uint64_t> Btelco::session_ids() const {

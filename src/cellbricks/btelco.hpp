@@ -11,11 +11,13 @@
 // architecture buys.
 #pragma once
 
+#include <unordered_set>
 #include <vector>
 
 #include "cellbricks/billing.hpp"
 #include "cellbricks/brokerd.hpp"
 #include "cellbricks/sap.hpp"
+#include "cellbricks/ticket.hpp"
 #include "net/network.hpp"
 #include "sim/service_queue.hpp"
 
@@ -66,6 +68,36 @@ class Btelco {
   /// UE-initiated detach: finalize accounting, send the final report, and
   /// release the session.
   void handle_detach(std::uint64_t session_id);
+
+  /// Join the broker's ticket federation: accept resumption tickets sealed
+  /// under `ticket_key` (the STEK) without a broker round trip.
+  void enable_resume(Bytes ticket_key);
+  bool resume_enabled() const { return !ticket_key_.empty(); }
+
+  /// Resume entry point: the UE presents a broker-minted ticket instead of
+  /// authReqU. Verification is entirely local (broker signature, expiry,
+  /// STEK seal, proof-of-possession, single-use, revocation); on success
+  /// `reply` receives (resume-confirm bytes, assigned IP) and the broker is
+  /// notified asynchronously off the attach critical path.
+  void handle_resume(Bytes resume_req, net::Node* ue_node, net::Link* radio_link,
+                     AttachReply reply);
+
+  /// Audit trail of accepted resumes — the check layer's evidence that a
+  /// ticket was never honoured past expiry, twice, or while revoked.
+  struct TicketAudit {
+    Bytes ticket_id;
+    std::uint64_t session_id = 0;
+    std::string pseudonym;
+    std::uint64_t expiry_ns = 0;
+    std::uint64_t accepted_at_ns = 0;
+    bool was_revoked = false;  // pseudonym was on the revocation list at accept
+  };
+  const std::vector<TicketAudit>& ticket_audit() const { return ticket_audit_; }
+  std::uint64_t resumes_served() const { return resumes_; }
+  std::uint64_t resumes_rejected() const { return resumes_rejected_; }
+  const std::unordered_set<std::string>& revoked_pseudonyms() const { return revoked_; }
+  /// Pseudonyms with a live session (check layer: revoked implies not live).
+  std::vector<std::string> session_pseudonyms() const;
 
   /// Sharded-broker deployments: route auth requests and reports through
   /// the shard map (auth sticky, reports by session id), follow Redirect
@@ -138,8 +170,24 @@ class Btelco {
     bool sent_once = false;      // a timer-driven resend implies a timeout
   };
 
+  /// One unACKed ResumeNotify awaiting broker confirmation (best-effort
+  /// with bounded retries; the ack may carry a revocation verdict).
+  struct OutstandingNotify {
+    Bytes wire;
+    std::uint64_t session_id = 0;
+    int attempts_left = 0;
+    Duration next_delay = Duration::zero();
+    sim::EventHandle timer;
+    std::size_t last_shard = 0;
+    bool sent_once = false;
+  };
+
   void install_session(const TelcoSession& ts, net::Node* ue_node, net::Link* radio_link,
-                       Bytes auth_resp_u, AttachReply reply);
+                       Bytes auth_resp_u, AttachReply reply,
+                       std::uint32_t first_period = 0);
+  void send_resume_notify(std::uint64_t session_id, const Bytes& ticket_id);
+  void transmit_resume_notify(std::uint64_t txn);
+  void handle_resume_notify_ack(std::uint64_t txn, ByteReader& r);
   void send_report(std::uint64_t session_id, bool final_report);
   void transmit_report(std::uint64_t seq);
   void handle_report_ack(std::uint64_t seq);
@@ -176,6 +224,16 @@ class Btelco {
   std::uint64_t attaches_ = 0;
   std::uint64_t sessions_gced_ = 0;
   std::uint64_t reports_abandoned_ = 0;
+
+  // Resumption state (inert until enable_resume).
+  Bytes ticket_key_;
+  std::unordered_set<std::string> used_tickets_;  // hex(ticket_id): one use here
+  std::unordered_set<std::string> revoked_;       // pseudonyms barred from resume
+  std::vector<TicketAudit> ticket_audit_;
+  std::unordered_map<std::uint64_t, OutstandingNotify> outstanding_notifies_;
+  std::uint64_t next_notify_txn_ = 1;
+  std::uint64_t resumes_ = 0;
+  std::uint64_t resumes_rejected_ = 0;
 };
 
 }  // namespace cb::cellbricks

@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "cellbricks/ticket.hpp"
 #include "common/log.hpp"
 #include "crypto/hmac.hpp"
 #include "obs/metrics.hpp"
@@ -91,6 +92,10 @@ Result<UeSession> SapUe::process_auth_resp(BytesView auth_resp_u) {
     const Bytes ss = r.bytes();
     const Bytes nonce = r.bytes();
     const std::uint64_t session_id = r.u64();
+    // Optional trailing field (resumption-enabled brokers only): pre-ticket
+    // responses simply end here.
+    Bytes ticket;
+    if (r.remaining() > 0) ticket = r.bytes();
 
     if (id_u != id_u_) return Result<UeSession>::err("authRespU: wrong subscriber");
     if (id_t != last_id_t_) return Result<UeSession>::err("authRespU: wrong bTelco");
@@ -103,6 +108,7 @@ Result<UeSession> SapUe::process_auth_resp(BytesView auth_resp_u) {
     session.id_t = id_t;
     session.session_id = session_id;
     session.security = SecurityContext::derive(ss);
+    session.ticket = std::move(ticket);
     obs::inc(obs::counter("sap.ue.auth_resp_ok"));
     return session;
   } catch (const std::out_of_range&) {
@@ -171,6 +177,11 @@ SapBroker::SapBroker(std::string id_b, crypto::RsaKeyPair keys, crypto::Certific
       keys_(std::move(keys)),
       cert_(std::move(cert)),
       ca_key_(std::move(ca_key)) {}
+
+void SapBroker::enable_resume(Bytes ticket_key, Duration ttl) {
+  ticket_key_ = std::move(ticket_key);
+  ticket_ttl_ = ttl;
+}
 
 void SapBroker::add_subscriber(const std::string& id_u, crypto::RsaPublicKey key) {
   subscribers_[id_u] = std::move(key);
@@ -268,6 +279,18 @@ Result<BrokerDecision> SapBroker::process_auth_req(
     u_inner.bytes(d.ss);
     u_inner.bytes(nonce);
     u_inner.u64(d.session_id);
+    if (!ticket_key_.empty()) {
+      // Mint a resumption ticket (trailing optional field — pre-ticket UEs
+      // stop reading before it). Drawn ONLY in resume mode, so worlds
+      // without tickets consume the exact same rng stream as before.
+      TicketInner ti;
+      ti.pseudonym = pseudonym.substr(0, 19);
+      ti.session_id = d.session_id;
+      ti.qos = d.qos;
+      ti.ss_resume = derive_resume_secret(d.ss);
+      ti.ticket_id = rng.random_bytes(kTicketIdSize);
+      u_inner.bytes(mint_resume_ticket(keys_, ticket_key_, ti, now + ticket_ttl_, rng));
+    }
     d.auth_resp_u = sign_and_seal(keys_, sub->second, u_inner.data(), rng);
 
     obs::inc(obs::counter("sap.broker.auth_req_ok"));

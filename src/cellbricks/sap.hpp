@@ -46,6 +46,10 @@ struct UeSession {
   std::string id_t;  // serving bTelco
   std::uint64_t session_id = 0;
   SecurityContext security;
+  /// Resumption ticket (ticket.hpp), present when the broker has resumption
+  /// enabled; empty otherwise. Opaque to the UE — it is presented verbatim
+  /// on re-attach, authenticated by ss-derived material.
+  Bytes ticket;
 };
 
 /// What the bTelco learns (note: a pseudonym, never the real idU).
@@ -139,6 +143,17 @@ class SapBroker {
 
   const std::string& id_b() const { return id_b_; }
   const crypto::Certificate& certificate() const { return cert_; }
+  /// CA root the broker validates bTelco certificates against (brokerd also
+  /// checks ResumeNotify certificates with it).
+  const crypto::RsaPublicKey& ca_key() const { return ca_key_; }
+
+  /// Enable resumption tickets (ticket.hpp): every successful auth appends a
+  /// ticket — sealed under `ticket_key` (the STEK shared with federated
+  /// bTelcos), signed by this broker, expiring `ttl` after issuance — to the
+  /// UE response. Off (no ticket, wire unchanged) until called.
+  void enable_resume(Bytes ticket_key, Duration ttl);
+  bool resume_enabled() const { return !ticket_key_.empty(); }
+  const Bytes& ticket_key() const { return ticket_key_; }
 
   /// Register a subscriber's public key (the broker issued it — no
   /// certificate needed, revocation = deletion).
@@ -176,6 +191,8 @@ class SapBroker {
   crypto::RsaPublicKey ca_key_;
   std::unordered_map<std::string, crypto::RsaPublicKey> subscribers_;
   std::unordered_set<std::string> seen_nonces_;  // replay cache
+  Bytes ticket_key_;                             // empty = resumption off
+  Duration ticket_ttl_ = Duration::zero();
 };
 
 }  // namespace cb::cellbricks

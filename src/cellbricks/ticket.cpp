@@ -1,0 +1,160 @@
+#include "cellbricks/ticket.hpp"
+
+#include "crypto/box.hpp"
+#include "crypto/hmac.hpp"
+#include "obs/metrics.hpp"
+
+namespace cb::cellbricks {
+
+namespace {
+
+Bytes pop_mac(BytesView ss_resume, BytesView ticket_wire, const std::string& id_t,
+              std::uint32_t period_base, BytesView nonce) {
+  ByteWriter w;
+  w.bytes(ticket_wire);
+  w.str(id_t);
+  w.u32(period_base);
+  w.bytes(nonce);
+  return crypto::hmac_sha256(ss_resume, w.data());
+}
+
+Bytes signed_payload(BytesView blob, std::uint64_t expiry_ns) {
+  ByteWriter w;
+  w.bytes(blob);
+  w.u64(expiry_ns);
+  return w.take();
+}
+
+}  // namespace
+
+Bytes derive_resume_secret(BytesView ss) {
+  return crypto::hkdf({}, ss, to_bytes("ticket-resume"), 32);
+}
+
+Bytes mint_resume_ticket(const crypto::RsaKeyPair& broker_keys, BytesView ticket_key,
+                         const TicketInner& inner, TimePoint expiry, Rng& rng) {
+  ByteWriter in;
+  in.str(inner.pseudonym);
+  in.u64(inner.session_id);
+  inner.qos.serialize(in);
+  in.bytes(inner.ss_resume);
+  in.bytes(inner.ticket_id);
+  const Bytes blob = crypto::symmetric_seal(ticket_key, in.data(), rng);
+
+  const std::uint64_t expiry_ns = static_cast<std::uint64_t>(expiry.nanos());
+  ByteWriter out;
+  out.bytes(blob);
+  out.u64(expiry_ns);
+  out.bytes(broker_keys.sign(signed_payload(blob, expiry_ns)));
+  obs::inc(obs::counter("ticket.minted"));
+  return out.take();
+}
+
+Bytes make_resume_request(BytesView ticket_wire, const std::string& id_t,
+                          std::uint32_t period_base, BytesView ss_resume, Rng& rng,
+                          Bytes* nonce_out) {
+  const Bytes nonce = rng.random_bytes(kResumeNonceSize);
+  if (nonce_out != nullptr) *nonce_out = nonce;
+  ByteWriter w;
+  w.bytes(ticket_wire);
+  w.str(id_t);
+  w.u32(period_base);
+  w.bytes(nonce);
+  w.bytes(pop_mac(ss_resume, ticket_wire, id_t, period_base, nonce));
+  return w.take();
+}
+
+Result<TicketInner> open_ticket(BytesView ticket_wire, const crypto::RsaPublicKey& broker_key,
+                                BytesView ticket_key, TimePoint now,
+                                std::uint64_t* expiry_ns_out) {
+  using R = Result<TicketInner>;
+  try {
+    ByteReader r(ticket_wire);
+    const Bytes blob = r.bytes();
+    const std::uint64_t expiry_ns = r.u64();
+    const Bytes sig = r.bytes();
+    if (expiry_ns_out != nullptr) *expiry_ns_out = expiry_ns;
+    if (!broker_key.verify(signed_payload(blob, expiry_ns), sig)) {
+      return R::err("ticket: broker signature invalid");
+    }
+    if (static_cast<std::uint64_t>(now.nanos()) >= expiry_ns) {
+      return R::err("ticket: expired");
+    }
+    auto opened = crypto::symmetric_open(ticket_key, blob);
+    if (!opened) return R::err("ticket: STEK seal invalid: " + opened.error());
+
+    ByteReader ir(opened.value());
+    TicketInner inner;
+    inner.pseudonym = ir.str();
+    inner.session_id = ir.u64();
+    inner.qos = QosInfo::deserialize(ir);
+    inner.ss_resume = ir.bytes();
+    inner.ticket_id = ir.bytes();
+    if (inner.ticket_id.size() != kTicketIdSize) return R::err("ticket: malformed ticket id");
+    return inner;
+  } catch (const std::out_of_range&) {
+    return R::err("ticket: truncated");
+  }
+}
+
+Result<ResumeGrant> verify_resume_request(BytesView request, const std::string& id_t,
+                                          const crypto::RsaPublicKey& broker_key,
+                                          BytesView ticket_key, TimePoint now) {
+  using R = Result<ResumeGrant>;
+  try {
+    ByteReader r(request);
+    const Bytes ticket_wire = r.bytes();
+    const std::string req_id_t = r.str();
+    const std::uint32_t period_base = r.u32();
+    const Bytes nonce = r.bytes();
+    const Bytes mac = r.bytes();
+    if (req_id_t != id_t) return R::err("resume: addressed to another bTelco");
+    if (nonce.size() != kResumeNonceSize) return R::err("resume: malformed nonce");
+
+    std::uint64_t expiry_ns = 0;
+    auto inner = open_ticket(ticket_wire, broker_key, ticket_key, now, &expiry_ns);
+    if (!inner) return R::err("resume: " + inner.error());
+
+    // Proof of possession: only the UE that ran the original SAP exchange
+    // knows ss_resume, so a stolen ticket alone cannot be replayed.
+    if (!constant_time_equal(
+            mac, pop_mac(inner.value().ss_resume, ticket_wire, id_t, period_base, nonce))) {
+      return R::err("resume: proof-of-possession MAC invalid");
+    }
+    ResumeGrant grant;
+    grant.inner = std::move(inner).value();
+    grant.expiry_ns = expiry_ns;
+    grant.period_base = period_base;
+    grant.nonce = nonce;
+    obs::inc(obs::counter("ticket.verified"));
+    return grant;
+  } catch (const std::out_of_range&) {
+    return R::err("resume: truncated");
+  }
+}
+
+Bytes make_resume_confirm(const ResumeGrant& grant, Rng& rng) {
+  ByteWriter w;
+  w.bytes(grant.nonce);
+  grant.inner.qos.serialize(w);
+  w.u64(grant.inner.session_id);
+  return crypto::symmetric_seal(grant.inner.ss_resume, w.data(), rng);
+}
+
+Result<ResumeConfirm> open_resume_confirm(BytesView confirm, BytesView ss_resume) {
+  using R = Result<ResumeConfirm>;
+  auto opened = crypto::symmetric_open(ss_resume, confirm);
+  if (!opened) return R::err("resume confirm: " + opened.error());
+  try {
+    ByteReader r(opened.value());
+    ResumeConfirm c;
+    c.nonce = r.bytes();
+    c.qos = QosInfo::deserialize(r);
+    c.session_id = r.u64();
+    return c;
+  } catch (const std::out_of_range&) {
+    return R::err("resume confirm: truncated");
+  }
+}
+
+}  // namespace cb::cellbricks

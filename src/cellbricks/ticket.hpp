@@ -1,0 +1,104 @@
+// SAP resumption tickets: re-attach without a broker round trip.
+//
+// On a successful first SAP run the broker mints a short-lived ticket and
+// returns it alongside authRespU. The ticket is sealed under a symmetric
+// ticket key shared by the broker and its federated bTelcos (STEK model, as
+// in TLS session tickets) and signed by the broker, binding:
+//
+//   inner = (pseudonym, session_id, qosInfo, ss_resume, ticket_id)
+//   ticket = [seal_STEK(inner)] [expiry] [sig_B(seal || expiry)]
+//
+// ss_resume = HKDF(ss, "ticket-resume") — the UE derives the same value from
+// its session secret, so possession of ss_resume proves the ticket belongs
+// to the presenter (proof-of-possession MAC over a fresh nonce) without the
+// bTelco ever learning the original ss or the subscriber's real identity.
+//
+// A target bTelco verifies the broker signature, expiry, STEK seal, and PoP
+// MAC entirely locally; replay is stopped by a per-bTelco single-use cache
+// on ticket_id and a revocation set fed by the broker (reputation verdicts).
+// Billing is preserved: the resumed session keeps the original session_id
+// and the bTelco notifies the broker asynchronously (ResumeNotify), off the
+// attach critical path.
+#pragma once
+
+#include <string>
+
+#include "cellbricks/qos.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "crypto/rsa.hpp"
+
+namespace cb::cellbricks {
+
+inline constexpr std::size_t kTicketIdSize = 16;
+inline constexpr std::size_t kResumeNonceSize = 16;
+
+/// Cleartext ticket contents (visible only to STEK holders, i.e. the broker
+/// and federated bTelcos — never to the radio path).
+struct TicketInner {
+  std::string pseudonym;        // broker-issued UE handle (never the real idU)
+  std::uint64_t session_id = 0; // original session — billing continuity
+  QosInfo qos;                  // negotiated parameters carried forward
+  Bytes ss_resume;              // 32B resumption secret (HKDF of session ss)
+  Bytes ticket_id;              // 16B random handle for the single-use cache
+
+  bool operator==(const TicketInner&) const = default;
+};
+
+/// ss_resume = HKDF(ss, "ticket-resume", 32). Both the broker (at mint) and
+/// the UE (from its UeSession) derive this independently.
+Bytes derive_resume_secret(BytesView ss);
+
+/// Broker side: seal `inner` under the STEK and sign (blob || expiry).
+Bytes mint_resume_ticket(const crypto::RsaKeyPair& broker_keys, BytesView ticket_key,
+                         const TicketInner& inner, TimePoint expiry, Rng& rng);
+
+/// UE side: wrap a stored ticket into a resume request for bTelco `id_t`,
+/// proving possession of ss_resume over a fresh nonce. `period_base` is the
+/// UE's next billing period: the resumed bTelco starts its report counter
+/// there, so periods of the continued session never collide with the ones
+/// the previous bTelco already reported (the broker dedups per period).
+///   request = [ticket] [id_t] [period] [nonce]
+///             [hmac(ss_resume, ticket||id_t||period||nonce)]
+/// `nonce_out`, when non-null, receives the fresh nonce so the caller can
+/// match the echo in the confirmation.
+Bytes make_resume_request(BytesView ticket_wire, const std::string& id_t,
+                          std::uint32_t period_base, BytesView ss_resume, Rng& rng,
+                          Bytes* nonce_out = nullptr);
+
+/// What a verifying bTelco learns from a valid resume request.
+struct ResumeGrant {
+  TicketInner inner;
+  std::uint64_t expiry_ns = 0;    // ticket expiry (audit trail)
+  std::uint32_t period_base = 0;  // first billing period of the resumed leg
+  Bytes nonce;                    // echoed back in the confirmation
+};
+
+/// Open and validate a bare ticket: broker signature, expiry, STEK seal.
+/// (Single-use and revocation checks are the caller's, since they depend on
+/// per-bTelco state.) `expiry_ns_out`, when non-null, receives the wire
+/// expiry even on success so audits record what was actually honoured.
+Result<TicketInner> open_ticket(BytesView ticket_wire, const crypto::RsaPublicKey& broker_key,
+                                BytesView ticket_key, TimePoint now,
+                                std::uint64_t* expiry_ns_out = nullptr);
+
+/// bTelco side: full local verification of a resume request addressed to
+/// `id_t` — ticket validity plus the proof-of-possession MAC. Fails closed
+/// on any mismatch.
+Result<ResumeGrant> verify_resume_request(BytesView request, const std::string& id_t,
+                                          const crypto::RsaPublicKey& broker_key,
+                                          BytesView ticket_key, TimePoint now);
+
+/// bTelco -> UE confirmation, sealed under ss_resume (the UE checks the
+/// nonce echo before trusting the new attachment).
+struct ResumeConfirm {
+  Bytes nonce;
+  QosInfo qos;
+  std::uint64_t session_id = 0;
+};
+
+Bytes make_resume_confirm(const ResumeGrant& grant, Rng& rng);
+Result<ResumeConfirm> open_resume_confirm(BytesView confirm, BytesView ss_resume);
+
+}  // namespace cb::cellbricks

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cellbricks/broker_cluster.hpp"
+#include "cellbricks/ticket.hpp"
 #include "common/log.hpp"
 #include "obs/metrics.hpp"
 
@@ -64,6 +65,17 @@ UeAgent::UeAgent(net::Network& network, net::Node& ue_node, SapUe sap,
 }
 
 void UeAgent::attach(ran::CellId cell, std::function<void(Result<net::Ipv4Addr>)> done) {
+  // Resume-first: with a broker-minted ticket in hand, skip the broker round
+  // trip and authenticate locally at the bTelco (tentpole of the SapResume
+  // mode). Any rejection falls back to the full protocol below.
+  if (config_.use_resume_tickets && !ticket_.empty()) {
+    attach_resume(cell, std::move(done));
+  } else {
+    attach_full(cell, std::move(done));
+  }
+}
+
+void UeAgent::attach_full(ran::CellId cell, std::function<void(Result<net::Ipv4Addr>)> done) {
   using R = Result<net::Ipv4Addr>;
   Btelco* telco = telco_of_cell_(cell);
   if (telco == nullptr) {
@@ -133,57 +145,179 @@ void UeAgent::attach(ran::CellId cell, std::function<void(Result<net::Ipv4Addr>)
                   fail(session.error());
                   return;
                 }
-
-                current_ip_ = ip;
-                serving_cell_ = cell;
-                serving_telco_ = telco;
-                session_id_ = session.value().session_id;
-                ue_node_.add_address(ip);
-                ue_node_.set_default_route(site.radio_link);
-
-                // Baseband meter baselines (PDCP/RLC counters).
-                const auto& dl = site.radio_link->counters(site.node);
-                const auto& ul = site.radio_link->counters(&ue_node_);
-                dl_base_ = dl.delivered_bytes;
-                dl_sent_base_ = dl.sent_bytes;
-                ul_base_ = ul.sent_bytes;
-                session_started_ = ue_node_.simulator().now();
-                next_period_ = 0;
-                report_timer_ = ue_node_.simulator().schedule(
-                    config_.report_interval, [this] { send_report(false); });
-
-                last_attach_latency_ = ue_node_.simulator().now() - attach_started_;
-                attach_latencies_.add(last_attach_latency_.to_millis());
-                obs::inc(obs::counter("ue_agent.attach.success"));
-                obs::observe(obs::histogram("ue_agent.attach_latency_ms"),
-                             last_attach_latency_.to_millis());
-                obs::trace(ue_node_.simulator().now(), obs::TraceType::AttachOk, cell,
-                           static_cast<std::uint64_t>(last_attach_latency_.nanos() / 1000));
-
-                // Flush reports stranded while detached (oldest first).
-                std::vector<std::uint64_t> stranded;
-                stranded.reserve(outstanding_reports_.size());
-                for (auto& [seq, out] : outstanding_reports_) {
-                  if (!out.timer.pending()) stranded.push_back(seq);
+                // Harvest the resumption ticket (if the broker minted one)
+                // for the next re-attach; its possession proof is derived
+                // from this session's ss so a stolen ticket alone is useless.
+                if (config_.use_resume_tickets && !session.value().ticket.empty()) {
+                  ticket_ = session.value().ticket;
+                  ss_resume_ = derive_resume_secret(session.value().security.kasme);
                 }
-                for (std::uint64_t seq : stranded) {
-                  OutstandingReport& out = outstanding_reports_[seq];
-                  out.next_delay = config_.report_retry;
-                  // The silence was our own detach, not the broker's fault:
-                  // don't let the flush strike the last target.
-                  out.sent_once = false;
-                  transmit_report(seq);
-                }
-
-                start_watchdog();
-                if (mptcp_) mptcp_->notify_address_available(current_ip_);
-                if (on_attached) on_attached(cell, last_attach_latency_);
-                (*done_shared)(current_ip_);
+                complete_attach(cell, site, telco, ip, session.value().session_id,
+                                /*resumed=*/false, done_shared);
               });
             });
           });
     });
   });
+}
+
+void UeAgent::attach_resume(ran::CellId cell, std::function<void(Result<net::Ipv4Addr>)> done) {
+  using R = Result<net::Ipv4Addr>;
+  Btelco* telco = telco_of_cell_(cell);
+  if (telco == nullptr) {
+    if (done) done(R::err("no CellBricks provider on this cell"));
+    return;
+  }
+  const ran::TowerSite site = ran_map_.site(cell);
+  site.radio_link->set_up(true);
+  attach_started_ = ue_node_.simulator().now();
+  obs::inc(obs::counter("ue_agent.resume.attempts"));
+  obs::trace(attach_started_, obs::TraceType::AttachStart, cell);
+  const std::uint64_t gen = ++attach_generation_;
+  auto done_shared =
+      std::make_shared<std::function<void(R)>>(done ? std::move(done) : [](R) {});
+
+  auto fail = [this, cell, site, done_shared](std::string error) {
+    ++attach_failures_;
+    obs::inc(obs::counter("ue_agent.attach.failure"));
+    obs::trace(ue_node_.simulator().now(), obs::TraceType::AttachFail, cell);
+    if (!attached() || serving_cell_ != cell) site.radio_link->set_up(false);
+    (*done_shared)(R::err(std::move(error)));
+  };
+
+  // A rejected ticket (already used at this bTelco, revoked, expired,
+  // resumption not enabled there) is not an outage — discard the ticket and
+  // run the full protocol; it re-authenticates and mints a fresh one.
+  auto fallback = [this, cell, done_shared] {
+    ++resume_fallbacks_;
+    obs::inc(obs::counter("ue_agent.resume.fallback"));
+    ticket_.clear();
+    ss_resume_.clear();
+    attach_full(cell, [done_shared](R r) { (*done_shared)(std::move(r)); });
+  };
+
+  // Same deadline discipline as the full attach: a crashed AGW never
+  // answers, and a fallback at that point would stall on it too.
+  attach_deadline_.cancel();
+  attach_deadline_ =
+      ue_node_.simulator().schedule(config_.attach_timeout, [this, gen, cell, fail] {
+        if (gen != attach_generation_) return;
+        ++attach_generation_;
+        CB_LOG(Info, "ue-agent") << id() << ": resume timed out";
+        obs::inc(obs::counter("ue_agent.attach.timeout"));
+        obs::trace(ue_node_.simulator().now(), obs::TraceType::AttachTimeout, cell);
+        fail("attach timeout");
+      });
+
+  // [UE msg 1/2] assemble the resume request: ticket + possession MAC. The
+  // period base carries the meter's period counter so the resumed bTelco's
+  // reports continue the numbering instead of colliding at the broker.
+  ue_queue_.submit(config_.ue_msg, [this, gen, cell, site, telco, done_shared, fail, fallback] {
+    if (gen != attach_generation_) return;
+    Bytes nonce;
+    Bytes req = make_resume_request(ticket_, telco->id(), next_period_, ss_resume_, rng_, &nonce);
+    // [eNB leg 1/2] relay to the bTelco AGW.
+    enb_queue_.submit(config_.enb_msg, [this, gen, cell, site, telco, done_shared, fail,
+                                        fallback, req = std::move(req),
+                                        nonce = std::move(nonce)]() mutable {
+      if (gen != attach_generation_) return;
+      telco->handle_resume(
+          std::move(req), &ue_node_, site.radio_link,
+          [this, gen, cell, site, telco, done_shared, fail, fallback, nonce](
+              Result<std::pair<Bytes, net::Ipv4Addr>> result) {
+            // [eNB leg 2/2] + [UE msg 2/2] open the confirm, adopt the IP.
+            enb_queue_.submit(config_.enb_msg, [this, gen, cell, site, telco, done_shared,
+                                                fail, fallback, nonce,
+                                                result = std::move(result)]() mutable {
+              ue_queue_.submit(config_.ue_msg, [this, gen, cell, site, telco, done_shared,
+                                                fail, fallback, nonce,
+                                                result = std::move(result)]() mutable {
+                if (gen != attach_generation_) return;
+                attach_deadline_.cancel();
+                if (!result.ok()) {
+                  CB_LOG(Info, "ue-agent")
+                      << id() << ": resume rejected (" << result.error()
+                      << "), falling back to full SAP";
+                  fallback();
+                  return;
+                }
+                auto& [confirm_wire, ip] = result.value();
+                auto confirm = open_resume_confirm(confirm_wire, ss_resume_);
+                if (!confirm.ok() || confirm.value().nonce != nonce) {
+                  // Forged/corrupted confirm: the full protocol
+                  // re-authenticates end to end, so fall back rather than
+                  // trusting anything from this exchange.
+                  CB_LOG(Warn, "ue-agent") << id() << ": resume confirm rejected";
+                  fallback();
+                  return;
+                }
+                ++resumes_succeeded_;
+                complete_attach(cell, site, telco, ip, confirm.value().session_id,
+                                /*resumed=*/true, done_shared);
+              });
+            });
+          });
+    });
+  });
+}
+
+void UeAgent::complete_attach(
+    ran::CellId cell, const ran::TowerSite& site, Btelco* telco, net::Ipv4Addr ip,
+    std::uint64_t session_id, bool resumed,
+    const std::shared_ptr<std::function<void(Result<net::Ipv4Addr>)>>& done_shared) {
+  current_ip_ = ip;
+  serving_cell_ = cell;
+  serving_telco_ = telco;
+  session_id_ = session_id;
+  ue_node_.add_address(ip);
+  ue_node_.set_default_route(site.radio_link);
+
+  // Baseband meter baselines (PDCP/RLC counters).
+  const auto& dl = site.radio_link->counters(site.node);
+  const auto& ul = site.radio_link->counters(&ue_node_);
+  dl_base_ = dl.delivered_bytes;
+  dl_sent_base_ = dl.sent_bytes;
+  ul_base_ = ul.sent_bytes;
+  session_started_ = ue_node_.simulator().now();
+  // A resumed session keeps its period numbering (the bTelco was told the
+  // base in the resume request); a fresh session starts at zero.
+  if (!resumed) next_period_ = 0;
+  report_timer_ = ue_node_.simulator().schedule(config_.report_interval,
+                                                [this] { send_report(false); });
+
+  last_attach_latency_ = ue_node_.simulator().now() - attach_started_;
+  attach_latencies_.add(last_attach_latency_.to_millis());
+  obs::inc(obs::counter("ue_agent.attach.success"));
+  obs::observe(obs::histogram("ue_agent.attach_latency_ms"),
+               last_attach_latency_.to_millis());
+  obs::trace(ue_node_.simulator().now(), obs::TraceType::AttachOk, cell,
+             static_cast<std::uint64_t>(last_attach_latency_.nanos() / 1000));
+  if (resumed) {
+    resume_latencies_.add(last_attach_latency_.to_millis());
+    obs::inc(obs::counter("ue_agent.resume.success"));
+    obs::observe(obs::histogram("ue_agent.resume_latency_ms"),
+                 last_attach_latency_.to_millis());
+  }
+
+  // Flush reports stranded while detached (oldest first).
+  std::vector<std::uint64_t> stranded;
+  stranded.reserve(outstanding_reports_.size());
+  for (auto& [seq, out] : outstanding_reports_) {
+    if (!out.timer.pending()) stranded.push_back(seq);
+  }
+  for (std::uint64_t seq : stranded) {
+    OutstandingReport& out = outstanding_reports_[seq];
+    out.next_delay = config_.report_retry;
+    // The silence was our own detach, not the broker's fault: don't let the
+    // flush strike the last target.
+    out.sent_once = false;
+    transmit_report(seq);
+  }
+
+  start_watchdog();
+  if (mptcp_) mptcp_->notify_address_available(current_ip_);
+  if (on_attached) on_attached(cell, last_attach_latency_);
+  (*done_shared)(current_ip_);
 }
 
 void UeAgent::attach_with_recovery(ran::CellId preferred) {

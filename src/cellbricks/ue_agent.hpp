@@ -57,6 +57,10 @@ class UeAgent {
     /// Traffic-report retransmission (mirrors the bTelco side).
     Duration report_retry = Duration::s(1);
     int report_attempts = 5;
+    /// Present broker-minted resumption tickets (ticket.hpp) on re-attach:
+    /// when a ticket is held, attach() first tries the local resume path
+    /// (no broker round trip) and falls back to full SAP on rejection.
+    bool use_resume_tickets = false;
   };
 
   UeAgent(net::Network& network, net::Node& ue_node, SapUe sap, const ran::RanMap& ran_map,
@@ -109,6 +113,14 @@ class UeAgent {
   Duration last_attach_latency() const { return last_attach_latency_; }
   const Summary& attach_latencies() const { return attach_latencies_; }
   std::uint64_t attach_failures() const { return attach_failures_; }
+  /// Resumption-ticket statistics (SapResume mode): attaches completed via
+  /// the local resume path, resume attempts that fell back to full SAP, and
+  /// the latencies of successful resumes (strictly cheaper than full SAP —
+  /// the frozen fig8 delta).
+  std::uint64_t resumes_succeeded() const { return resumes_succeeded_; }
+  std::uint64_t resume_fallbacks() const { return resume_fallbacks_; }
+  const Summary& resume_latencies() const { return resume_latencies_; }
+  bool has_ticket() const { return !ticket_.empty(); }
   /// Serving-bearer losses detected by the watchdog (crash/radio fault).
   std::uint64_t bearer_losses() const { return bearer_losses_; }
   /// Outage-to-recovered latency per successful recovery (ms).
@@ -135,6 +147,13 @@ class UeAgent {
     bool sent_once = false;      // a timer-driven resend implies a timeout
   };
 
+  void attach_full(ran::CellId cell, std::function<void(Result<net::Ipv4Addr>)> done);
+  void attach_resume(ran::CellId cell, std::function<void(Result<net::Ipv4Addr>)> done);
+  /// Common tail of both attach flavours: adopt the IP/session, rebaseline
+  /// the meter, restart report/watchdog timers, flush stranded reports.
+  void complete_attach(ran::CellId cell, const ran::TowerSite& site, Btelco* telco,
+                       net::Ipv4Addr ip, std::uint64_t session_id, bool resumed,
+                       const std::shared_ptr<std::function<void(Result<net::Ipv4Addr>)>>& done);
   void send_report(bool final_report);
   void transmit_report(std::uint64_t seq);
   void handle_report_ack(std::uint64_t seq);
@@ -201,6 +220,13 @@ class UeAgent {
   std::uint64_t attach_failures_ = 0;
   std::uint64_t bearer_losses_ = 0;
   std::uint64_t reports_abandoned_ = 0;
+
+  // Resumption-ticket state (inert unless Config::use_resume_tickets).
+  Bytes ticket_;       // most recent broker-minted ticket (opaque wire form)
+  Bytes ss_resume_;    // HKDF of that session's ss; proves ticket possession
+  Summary resume_latencies_;
+  std::uint64_t resumes_succeeded_ = 0;
+  std::uint64_t resume_fallbacks_ = 0;
 };
 
 }  // namespace cb::cellbricks

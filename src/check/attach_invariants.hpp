@@ -1,0 +1,37 @@
+// Attach-protocol invariants — the check-layer half of the protocol
+// conformance suite (tests/test_attach_protocols.cpp drives them across
+// every protocol variant).
+//
+//   attach.no_session_without_auth  a user-plane session implies a completed
+//                                   authentication: the MNO SPGW never holds
+//                                   a bearer the MME did not finish, and the
+//                                   bTelco side is covered by the existing
+//                                   sap.session_backed checker (a resumed
+//                                   session reuses its broker-issued id, so
+//                                   the record requirement still binds).
+//   attach.ticket_validity          no resumption ticket is ever honoured
+//                                   past its expiry, twice at the same
+//                                   bTelco, or while its subscriber is on
+//                                   the revocation list (reads the per-telco
+//                                   TicketAudit trail).
+//   attach.resume_billing           resumption never skips billing: every
+//                                   audited resume maps to a broker-issued
+//                                   session record, and a revoked pseudonym
+//                                   holds no live session once the ack
+//                                   settles (end-only: revocation is
+//                                   asynchronous).
+//
+// Same contract as world_invariants: read-only, no RNG, no scheduling.
+#pragma once
+
+#include "check/invariant.hpp"
+#include "scenario/world.hpp"
+
+namespace cb::check {
+
+/// Register the attach-protocol checkers against `world`. Safe for every
+/// protocol variant: checkers gate themselves on what the world actually
+/// built (no-op on worlds without tickets / without an EPC).
+void install_attach_invariants(InvariantEngine& engine, scenario::World& world);
+
+}  // namespace cb::check

@@ -63,6 +63,9 @@ JsonValue scenario_to_json(const scenario::FuzzScenario& s) {
     o["fluid_hybrid"] = s.fluid_hybrid;
   }
   if (s.broker_shards > 1) o["broker_shards"] = s.broker_shards;
+  // Emitted only off-default so pre-existing repro files stay byte-stable.
+  if (s.attach_protocol != 2) o["attach_protocol"] = s.attach_protocol;
+  if (s.resume_ticket) o["resume_ticket"] = true;
   o["faults"] = std::move(faults);
   if (s.plant_dedup_bug) o["plant_dedup_bug"] = true;
   return JsonValue(std::move(o));
@@ -86,6 +89,11 @@ scenario::FuzzScenario scenario_from_json(const JsonValue& v) {
   s.fluid_hybrid = v.get("fluid_hybrid", JsonValue(false)).as_bool();
   s.broker_shards = static_cast<int>(v.get("broker_shards", JsonValue(1)).as_int());
   if (s.broker_shards < 1) throw std::runtime_error("repro: broker_shards must be >= 1");
+  s.attach_protocol = static_cast<int>(v.get("attach_protocol", JsonValue(2)).as_int());
+  if (s.attach_protocol < 0 || s.attach_protocol > 2) {
+    throw std::runtime_error("repro: attach_protocol must be 0 (eps_aka), 1 (5g_aka) or 2 (sap)");
+  }
+  s.resume_ticket = v.get("resume_ticket", JsonValue(false)).as_bool();
   s.plant_dedup_bug = v.get("plant_dedup_bug", JsonValue(false)).as_bool();
   if (s.n_towers < 1) throw std::runtime_error("repro: n_towers must be >= 1");
   s.faults.clear();

@@ -5,6 +5,7 @@
 
 #include "apps/iperf.hpp"
 #include "apps/ping.hpp"
+#include "check/attach_invariants.hpp"
 #include "check/fluid_invariants.hpp"
 #include "check/settlement_invariants.hpp"
 #include "check/world_invariants.hpp"
@@ -29,6 +30,16 @@ void fnv_mix(std::uint64_t& h, std::uint64_t v) {
 scenario::WorldConfig world_config(const scenario::FuzzScenario& s) {
   scenario::WorldConfig w;
   w.arch = scenario::Architecture::CellBricks;
+  // The protocol axis overrides the architecture (EPC protocols build the
+  // MNO world); SapResume degrades to Sap inside World on sharded brokers.
+  switch (s.attach_protocol) {
+    case 0: w.protocol = scenario::AttachProtocol::EpsAka; break;
+    case 1: w.protocol = scenario::AttachProtocol::Aka5g; break;
+    default:
+      w.protocol = s.resume_ticket ? scenario::AttachProtocol::SapResume
+                                   : scenario::AttachProtocol::Sap;
+      break;
+  }
   w.route = scenario::RouteSpec{"Fuzz", s.night, s.speed_mps, s.tower_spacing_m,
                                 s.night ? ran::RatePolicy::night() : ran::RatePolicy::day()};
   w.seed = s.seed;
@@ -56,6 +67,7 @@ sim::FaultPlan bind_faults(const scenario::FuzzScenario& s, scenario::World& wor
             [&world] { world.cloud_node()->set_up(true); });
         break;
       case scenario::FuzzFault::Kind::TelcoCrash: {
+        if (world.n_btelcos() == 0) break;  // MNO world: no bTelco to crash
         // Clamp: the sampler draws the index before shrinking drops towers.
         const std::size_t i = f.telco < world.n_btelcos() ? f.telco : world.n_btelcos() - 1;
         plan.window(
@@ -66,7 +78,10 @@ sim::FaultPlan bind_faults(const scenario::FuzzScenario& s, scenario::World& wor
       }
       case scenario::FuzzFault::Kind::RadioDrop:
         plan.at("radio-drop", start, [&world] {
-          const ran::CellId cell = world.ue_agent()->serving_cell();
+          // The serving cell lives on the agent (CellBricks) or NAS (MNO).
+          const ran::CellId cell = world.ue_agent() != nullptr
+                                       ? world.ue_agent()->serving_cell()
+                                       : world.ue_nas()->serving_cell();
           if (cell != 0) world.ran_map().site(cell).radio_link->set_up(false);
         });
         break;
@@ -130,6 +145,7 @@ RunReport run_scenario(const scenario::FuzzScenario& s, const RunOptions& option
 
   InvariantEngine engine;
   install_world_invariants(engine, world, &probe);
+  install_attach_invariants(engine, world);
   if (world.broker_cluster() != nullptr) {
     install_settlement_invariants(engine, world);
   }
@@ -175,7 +191,8 @@ RunReport run_scenario(const scenario::FuzzScenario& s, const RunOptions& option
   report.reports_ingested = world.broker_reports_ingested();
   report.pairs_compared = world.broker_pairs_compared();
   report.fault_log_entries = chaos.log().size();
-  report.ue_attached_at_end = world.ue_agent()->attached();
+  report.ue_attached_at_end = world.ue_agent() != nullptr ? world.ue_agent()->attached()
+                                                          : world.ue_nas()->attached();
 
   // Traffic phase: an independent simulator running the hybrid fluid/packet
   // engine under its own invariant catalogue. Kept separate from the world

@@ -154,6 +154,18 @@ bool simplify_knobs(scenario::FuzzScenario& best, Oracle& oracle, Violation& wit
        [](const scenario::FuzzScenario& s) { return s.fluid_ues > 0; }},
       {"fluid-no-hybrid", [](scenario::FuzzScenario& s) { s.fluid_hybrid = false; },
        [](const scenario::FuzzScenario& s) { return s.fluid_ues > 0 && s.fluid_hybrid; }},
+      {"resume-off", [](scenario::FuzzScenario& s) { s.resume_ticket = false; },
+       [](const scenario::FuzzScenario& s) { return s.resume_ticket; }},
+      {"protocol-eps",
+       [](scenario::FuzzScenario& s) {
+         // Collapse the protocol axis to the EPS-AKA baseline — the
+         // smallest attach machinery (no broker, no tickets, two HSS
+         // round-trips). Only survives when the violation is not tied to
+         // the CellBricks layers, i.e. it genuinely simplifies the repro.
+         s.attach_protocol = 0;
+         s.resume_ticket = false;
+       },
+       [](const scenario::FuzzScenario& s) { return s.attach_protocol != 0; }},
       {"single-shard",
        [](scenario::FuzzScenario& s) {
          // Collapse the broker cluster; shard kills are meaningless on a

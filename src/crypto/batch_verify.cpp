@@ -1,0 +1,105 @@
+#include "crypto/batch_verify.hpp"
+
+#include <atomic>
+#include <map>
+#include <thread>
+
+namespace cb::crypto {
+namespace {
+
+// Screen one same-key group. Results land in pre-assigned slots of `out`
+// (one writer per index), so worker threads need no synchronisation beyond
+// the final join.
+void verify_group(const std::vector<BatchVerifier::Job>& jobs,
+                  const std::vector<std::size_t>& idx, std::vector<std::uint8_t>& out,
+                  std::atomic<std::size_t>& expos, std::atomic<std::size_t>& fallbacks) {
+  const RsaPublicKey& key = jobs[idx.front()].key;
+  const BigNum& n = key.modulus();
+  const std::size_t width = key.size_bytes();
+
+  // Range checks first: a malformed signature is rejected outright and does
+  // not poison the product for the rest of the group.
+  std::vector<std::size_t> live;
+  std::vector<BigNum> sigs;
+  live.reserve(idx.size());
+  sigs.reserve(idx.size());
+  for (std::size_t i : idx) {
+    const Bytes& sig = jobs[i].signature;
+    if (sig.size() != width) continue;
+    BigNum s = BigNum::from_bytes_be(sig);
+    if (s >= n) continue;
+    live.push_back(i);
+    sigs.push_back(std::move(s));
+  }
+  if (live.empty()) return;
+  if (live.size() == 1) {
+    out[live.front()] =
+        key.verify(jobs[live.front()].message, jobs[live.front()].signature) ? 1 : 0;
+    expos.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  BigNum sig_prod{1};
+  BigNum block_prod{1};
+  for (std::size_t j = 0; j < live.size(); ++j) {
+    sig_prod = (sig_prod * sigs[j]).mod(n);
+    const BigNum em =
+        BigNum::from_bytes_be(pkcs1_signature_block(jobs[live[j]].message, width));
+    block_prod = (block_prod * em).mod(n);
+  }
+  const BigNum lhs = sig_prod.powmod(key.exponent(), n);
+  expos.fetch_add(1, std::memory_order_relaxed);
+  if (lhs == block_prod) {
+    for (std::size_t i : live) out[i] = 1;
+    return;
+  }
+
+  // At least one signature in the group is bad; isolate it individually so
+  // honest reporters in the same batch are not collateral damage.
+  fallbacks.fetch_add(1, std::memory_order_relaxed);
+  expos.fetch_add(live.size(), std::memory_order_relaxed);
+  for (std::size_t i : live) {
+    out[i] = key.verify(jobs[i].message, jobs[i].signature) ? 1 : 0;
+  }
+}
+
+}  // namespace
+
+std::vector<bool> BatchVerifier::verify_all(const std::vector<Job>& jobs) const {
+  std::vector<std::uint8_t> out(jobs.size(), 0);
+
+  // Group by serialized key; std::map keeps group order deterministic.
+  std::map<Bytes, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].key.empty()) continue;  // out[i] stays 0
+    groups[jobs[i].key.serialize()].push_back(i);
+  }
+  std::vector<const std::vector<std::size_t>*> order;
+  order.reserve(groups.size());
+  for (auto& [key_bytes, members] : groups) order.push_back(&members);
+
+  std::atomic<std::size_t> expos{0};
+  std::atomic<std::size_t> fallbacks{0};
+  if (threads_ > 1 && order.size() > 1) {
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+      for (;;) {
+        const std::size_t g = next.fetch_add(1, std::memory_order_relaxed);
+        if (g >= order.size()) return;
+        verify_group(jobs, *order[g], out, expos, fallbacks);
+      }
+    };
+    const std::size_t nthreads = std::min<std::size_t>(threads_, order.size());
+    std::vector<std::thread> pool;
+    pool.reserve(nthreads);
+    for (std::size_t t = 0; t < nthreads; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  } else {
+    for (const auto* g : order) verify_group(jobs, *g, out, expos, fallbacks);
+  }
+  last_exponentiations_ = expos.load();
+  last_fallbacks_ = fallbacks.load();
+  return {out.begin(), out.end()};
+}
+
+}  // namespace cb::crypto

@@ -1,0 +1,53 @@
+// Batch RSA signature screening for the broker's report/ticket queues.
+//
+// Verifying k signatures under one public key individually costs k modular
+// exponentiations. The multiplicative screen costs ONE exponentiation plus
+// 2(k-1) modular multiplications:
+//
+//   (prod_i sig_i)^e  ==  prod_i EMSA(H(m_i))    (mod n)
+//
+// If the batch passes, every signature is accepted; if it fails, the batch
+// falls back to individual verification so exactly the bad indices are
+// rejected. The screen is sound against the simulator's threat model
+// (independent dishonest reporters forging their own signatures): a single
+// invalid signature makes the products disagree with overwhelming
+// probability. It is NOT a proof of each individual signature — colluding
+// signers could craft multiplicatively-cancelling pairs — which is why
+// brokerd keeps the batch path behind a config flag and DESIGN.md §14
+// documents the trade.
+#pragma once
+
+#include <vector>
+
+#include "crypto/rsa.hpp"
+
+namespace cb::crypto {
+
+class BatchVerifier {
+ public:
+  struct Job {
+    RsaPublicKey key;
+    Bytes message;
+    Bytes signature;
+  };
+
+  /// `threads` = 0 or 1: serial. Larger: groups are screened by a worker
+  /// pool; results are committed per-job into pre-assigned slots, so the
+  /// output is identical at any thread count.
+  explicit BatchVerifier(unsigned threads = 0) : threads_(threads) {}
+
+  /// Verify every job; result i corresponds to jobs[i].
+  std::vector<bool> verify_all(const std::vector<Job>& jobs) const;
+
+  /// Counters for the bench/tests: how many exponentiations the last
+  /// verify_all spent vs the k it would have spent individually.
+  std::size_t last_exponentiations() const { return last_exponentiations_; }
+  std::size_t last_fallbacks() const { return last_fallbacks_; }
+
+ private:
+  unsigned threads_;
+  mutable std::size_t last_exponentiations_ = 0;
+  mutable std::size_t last_fallbacks_ = 0;
+};
+
+}  // namespace cb::crypto

@@ -6,10 +6,9 @@
 
 namespace cb::crypto {
 
-namespace {
-
-// PKCS#1 v1.5 type-1 block: 0x00 0x01 FF..FF 0x00 || digest.
-Bytes signature_block(BytesView message, std::size_t width) {
+// PKCS#1 v1.5 type-1 block: 0x00 0x01 FF..FF 0x00 || digest. Public so the
+// batch verifier screens against the exact encoding sign/verify use.
+Bytes pkcs1_signature_block(BytesView message, std::size_t width) {
   const Bytes digest = sha256(message);
   if (width < digest.size() + 11) throw std::invalid_argument("rsa: modulus too small to sign");
   Bytes em(width, 0xFF);
@@ -20,6 +19,10 @@ Bytes signature_block(BytesView message, std::size_t width) {
   return em;
 }
 
+namespace {
+Bytes signature_block(BytesView message, std::size_t width) {
+  return pkcs1_signature_block(message, width);
+}
 }  // namespace
 
 bool RsaPublicKey::verify(BytesView message, BytesView signature) const {

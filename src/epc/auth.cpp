@@ -30,4 +30,80 @@ bool verify_autn(BytesView k, BytesView rand, BytesView autn) {
 
 Bytes derive_kasme(BytesView k, BytesView rand) { return tagged_mac(k, rand, "kasme"); }
 
+namespace {
+
+// Anonymity key: 48 bits XORed over the cleartext SQN so a passive observer
+// cannot track a subscriber across challenges. Distinct tags separate the
+// challenge direction ("ak") from the resync direction ("ak-s").
+std::uint64_t anonymity_key(BytesView k, BytesView rand, std::string_view tag) {
+  const Bytes mac = tagged_mac(k, rand, tag);
+  std::uint64_t ak = 0;
+  for (int i = 0; i < 6; ++i) ak = (ak << 8) | mac[static_cast<std::size_t>(i)];
+  return ak;  // 48 bits
+}
+
+Bytes sqn_mac(BytesView k, BytesView rand, std::uint64_t sqn, std::string_view tag) {
+  ByteWriter w;
+  w.raw(rand);
+  w.u64(sqn);
+  w.str(tag);
+  return crypto::hmac_sha256(k, w.data());
+}
+
+}  // namespace
+
+AuthVector generate_auth_vector_sqn(BytesView k, HssSqnState& state, Rng& rng) {
+  AuthVector v;
+  v.rand = rng.random_bytes(16);
+  v.xres = tagged_mac(k, v.rand, "res");
+  v.kasme = tagged_mac(k, v.rand, "kasme");
+  const std::uint64_t sqn = state.sqn;
+  state.sqn = (state.sqn + 1) % kSqnModulus;
+  ByteWriter autn;
+  autn.u64(sqn ^ anonymity_key(k, v.rand, "ak"));
+  autn.raw(sqn_mac(k, v.rand, sqn, "autn-mac"));
+  v.autn = autn.data();
+  return v;
+}
+
+AutnCheck verify_autn_sqn(BytesView k, BytesView rand, BytesView autn, UeSqnState& state) {
+  AutnCheck out;
+  if (autn.size() != 8 + 32) return out;  // MacFailure
+  ByteReader r(autn);
+  const std::uint64_t concealed = r.u64();
+  const std::uint64_t sqn = concealed ^ anonymity_key(k, rand, "ak");
+  if (!constant_time_equal(sqn_mac(k, rand, sqn, "autn-mac"),
+                           BytesView(autn.data() + 8, 32))) {
+    return out;  // MacFailure
+  }
+  out.sqn = sqn;
+  // Freshness: strictly ahead of SQN_MS, within the forward window. The
+  // modular delta handles wraparound (SQN_MS = 2^48-1, SQN = 0 is fresh).
+  const std::uint64_t delta = (sqn - state.sqn_ms) & (kSqnModulus - 1);
+  if (delta != 0 && delta <= kSqnWindow) {
+    out.verdict = AutnVerdict::Ok;
+    state.sqn_ms = sqn;
+    return out;
+  }
+  out.verdict = AutnVerdict::SyncFailure;
+  ByteWriter auts;
+  auts.u64(state.sqn_ms ^ anonymity_key(k, rand, "ak-s"));
+  auts.raw(sqn_mac(k, rand, state.sqn_ms, "auts-mac"));
+  out.auts = auts.data();
+  return out;
+}
+
+bool resynchronize_sqn(BytesView k, BytesView rand, BytesView auts, HssSqnState& state) {
+  if (auts.size() != 8 + 32) return false;
+  ByteReader r(auts);
+  const std::uint64_t sqn_ms = r.u64() ^ anonymity_key(k, rand, "ak-s");
+  if (!constant_time_equal(sqn_mac(k, rand, sqn_ms, "auts-mac"),
+                           BytesView(auts.data() + 8, 32))) {
+    return false;
+  }
+  // Resume one past the UE's high-water mark so the next challenge is fresh.
+  state.sqn = (sqn_ms + 1) % kSqnModulus;
+  return true;
+}
+
 }  // namespace cb::epc

@@ -31,4 +31,57 @@ bool verify_autn(BytesView k, BytesView rand, BytesView autn);
 /// Both sides: session master key.
 Bytes derive_kasme(BytesView k, BytesView rand);
 
+// --- Sequence-number (SQN) state machine (TS 33.102 §6.3 shape) ------------
+//
+// The stateless vector above models the happy path only. Real AKA carries a
+// 48-bit sequence number inside AUTN (concealed by an anonymity key AK) so
+// the UE can detect replayed challenges, and a resynchronisation token AUTS
+// so an out-of-step HSS can recover. The states below make those failure
+// branches (MAC failure, SQN-out-of-range, resync, wraparound) testable.
+
+/// SQN arithmetic is modulo 2^48; freshness is a forward window of 2^28.
+inline constexpr std::uint64_t kSqnModulus = 1ull << 48;
+inline constexpr std::uint64_t kSqnWindow = 1ull << 28;
+
+/// HSS side: the next sequence number to issue for one subscriber. Starts
+/// at 1: a factory-fresh UE holds SQN_MS = 0 and freshness requires a
+/// strictly positive delta, so issuing 0 first would force a needless
+/// resync round on the very first attach.
+struct HssSqnState {
+  std::uint64_t sqn = 1;
+};
+
+/// UE side: the highest sequence number accepted so far (SQN_MS).
+struct UeSqnState {
+  std::uint64_t sqn_ms = 0;
+};
+
+/// Outcome of the UE's AUTN check.
+enum class AutnVerdict {
+  Ok,           // MAC valid, SQN fresh: challenge accepted
+  MacFailure,   // MAC invalid: network does not know K (or AUTN tampered)
+  SyncFailure,  // MAC valid but SQN stale/out-of-window: AUTS carries SQN_MS
+};
+
+struct AutnCheck {
+  AutnVerdict verdict = AutnVerdict::MacFailure;
+  Bytes auts;          // resynchronisation token, set on SyncFailure
+  std::uint64_t sqn = 0;  // the SQN recovered from AUTN (valid unless MacFailure)
+};
+
+/// HSS side: derive a vector whose AUTN carries `state`'s next SQN (the
+/// state advances). The stateless AUTN above and this one are distinct
+/// formats; pair generate/verify consistently.
+AuthVector generate_auth_vector_sqn(BytesView k, HssSqnState& state, Rng& rng);
+
+/// UE side: full AUTN check — MAC, then SQN freshness against `state`.
+/// On Ok the state advances to the challenge's SQN; on SyncFailure the
+/// returned AUTS conceals and authenticates the UE's SQN_MS.
+AutnCheck verify_autn_sqn(BytesView k, BytesView rand, BytesView autn, UeSqnState& state);
+
+/// HSS side: process an AUTS token. Returns false if its MAC does not
+/// verify; on success `state.sqn` jumps to the UE's SQN_MS so the next
+/// vector is fresh again.
+bool resynchronize_sqn(BytesView k, BytesView rand, BytesView auts, HssSqnState& state);
+
 }  // namespace cb::epc

@@ -1,0 +1,53 @@
+// 5G-AKA authentication (TS 33.501 §6.1 shape).
+//
+// The second incumbent baseline next to EPS-AKA. Three structural changes
+// from 4G, all modelled here:
+//   1. SUCI — the UE never sends its permanent identifier (SUPI) in clear;
+//      it is concealed under the home network's public key (anti-IMSI-catcher
+//      by construction, the property SAP gets from its sealed boxes).
+//   2. RES* / HXRES* — the serving side (SEAF, folded into our Mme) checks a
+//      hash of the UE response locally, then the home side (AUSF, folded
+//      into our Hss) confirms the full RES* — one extra home round-trip.
+//   3. The KAUSF -> KSEAF -> KAMF key chain replaces the single K_ASME.
+// HMAC-SHA256 stands in for the 3GPP KDFs exactly as in auth.cpp; the AUTN
+// reuses the SQN machinery from auth.hpp so replay/resync semantics match.
+#pragma once
+
+#include "common/result.hpp"
+#include "crypto/rsa.hpp"
+#include "epc/auth.hpp"
+
+namespace cb::epc {
+
+struct Auth5gVector {
+  Bytes rand;        // 16-byte challenge
+  Bytes autn;        // SQN-carrying network token (auth.hpp format)
+  Bytes xres_star;   // expected full response (home side only)
+  Bytes hxres_star;  // SHA256(RAND || XRES*): the serving side's local check
+  Bytes kausf;       // home-network anchor key
+  Bytes kseaf;       // serving-network anchor key
+};
+
+/// UE side: conceal the SUPI under the home network public key (SUCI).
+Bytes conceal_supi(const crypto::RsaPublicKey& hn_key, std::string_view supi, Rng& rng);
+
+/// Home side: recover the SUPI from a SUCI.
+Result<std::string> deconceal_suci(const crypto::RsaKeyPair& hn_keys, BytesView suci);
+
+/// Home side (AUSF/UDM): derive a fresh 5G vector; AUTN carries the next SQN.
+Auth5gVector generate_auth5g_vector(BytesView k, HssSqnState& state, Rng& rng);
+
+/// UE side: the full response RES*.
+Bytes compute_res_star(BytesView k, BytesView rand);
+
+/// Serving side: HXRES* = SHA256(RAND || RES*) — computable from the
+/// over-the-air RES* without knowing K.
+Bytes hash_res_star(BytesView rand, BytesView res_star);
+
+/// Key chain. KAUSF and KSEAF are derivable by both the home side and the
+/// UE; KAMF binds the serving session to the disclosed SUPI.
+Bytes derive_kausf(BytesView k, BytesView rand);
+Bytes derive_kseaf(BytesView kausf);
+Bytes derive_kamf(BytesView kseaf, std::string_view supi);
+
+}  // namespace cb::epc

@@ -1,6 +1,7 @@
 #include "epc/hss.hpp"
 
 #include "common/log.hpp"
+#include "epc/auth5g.hpp"
 #include "obs/metrics.hpp"
 
 namespace cb::epc {
@@ -21,6 +22,10 @@ bool Hss::has_subscriber(const std::string& imsi) const {
   return subscribers_.contains(imsi);
 }
 
+void Hss::enable_5g(Rng& rng, std::size_t modulus_bits) {
+  hn_keys_ = crypto::RsaKeyPair::generate(rng, modulus_bits);
+}
+
 void Hss::handle(const net::Packet& packet) {
   // Keep the fields we need; processing happens after the service delay.
   // The payload is COW, so holding it in the closure is a pointer share.
@@ -31,16 +36,24 @@ void Hss::handle(const net::Packet& packet) {
       ByteReader r(payload);
       const auto type = static_cast<S6aType>(r.u8());
       const std::uint64_t txn = r.u64();
-      const std::string imsi = r.str();
 
+      // 5G types carry a SUCI (or a RES*), never a cleartext IMSI — branch
+      // before the identifier parse. The 4G path below is byte-identical to
+      // its pre-5G form.
+      if (type == S6aType::Auth5gInfoReq) {
+        handle_5g_info(txn, r, from);
+        return;
+      }
+      if (type == S6aType::Auth5gConfirm) {
+        handle_5g_confirm(txn, r, from);
+        return;
+      }
+
+      const std::string imsi = r.str();
       auto sub = subscribers_.find(imsi);
       if (sub == subscribers_.end()) {
         obs::inc(obs::counter("epc.hss.unknown_subscriber"));
-        ByteWriter w;
-        w.u8(static_cast<std::uint8_t>(S6aType::Error));
-        w.u64(txn);
-        w.str("unknown subscriber");
-        reply(from, w.take());
+        error_reply(from, txn, "unknown subscriber");
         return;
       }
 
@@ -68,6 +81,63 @@ void Hss::handle(const net::Packet& packet) {
       CB_LOG(Warn, "hss") << "malformed S6A message dropped";
     }
   });
+}
+
+void Hss::handle_5g_info(std::uint64_t txn, ByteReader& r, const net::EndPoint& from) {
+  if (hn_keys_.empty()) {
+    error_reply(from, txn, "5g not enabled");
+    return;
+  }
+  const Bytes suci = r.bytes();
+  const Result<std::string> supi = deconceal_suci(hn_keys_, suci);
+  if (!supi.ok()) {
+    obs::inc(obs::counter("epc.hss.suci_invalid"));
+    error_reply(from, txn, "suci deconcealment failed");
+    return;
+  }
+  auto sub = subscribers_.find(supi.value());
+  if (sub == subscribers_.end()) {
+    obs::inc(obs::counter("epc.hss.unknown_subscriber"));
+    error_reply(from, txn, "unknown subscriber");
+    return;
+  }
+  obs::inc(obs::counter("epc.hss.air5g_served"));
+  const Auth5gVector v = generate_auth5g_vector(sub->second, sqn_[supi.value()], rng_);
+  pending5g_[txn] = Pending5g{supi.value(), v.xres_star, v.kseaf};
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(S6aType::Auth5gInfoResp));
+  w.u64(txn);
+  w.bytes(v.rand);
+  w.bytes(v.autn);
+  w.bytes(v.hxres_star);
+  reply(from, w.take());
+}
+
+void Hss::handle_5g_confirm(std::uint64_t txn, ByteReader& r, const net::EndPoint& from) {
+  auto it = pending5g_.find(txn);
+  if (it == pending5g_.end()) {
+    error_reply(from, txn, "no pending 5g auth");
+    return;
+  }
+  const Bytes res_star = r.bytes();
+  const bool ok = constant_time_equal(res_star, it->second.xres_star);
+  obs::inc(obs::counter(ok ? "epc.hss.confirm5g_ok" : "epc.hss.confirm5g_failed"));
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(S6aType::Auth5gConfirmResp));
+  w.u64(txn);
+  w.u8(ok ? 1 : 0);
+  w.str(it->second.supi);
+  w.bytes(ok ? it->second.kseaf : Bytes{});
+  pending5g_.erase(it);
+  reply(from, w.take());
+}
+
+void Hss::error_reply(const net::EndPoint& to, std::uint64_t txn, std::string_view reason) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(S6aType::Error));
+  w.u64(txn);
+  w.str(reason);
+  reply(to, w.take());
 }
 
 void Hss::reply(const net::EndPoint& to, Bytes payload) {

@@ -1,6 +1,7 @@
 #include "epc/mme.hpp"
 
 #include "common/log.hpp"
+#include "epc/auth5g.hpp"
 #include "obs/metrics.hpp"
 
 namespace cb::epc {
@@ -120,6 +121,112 @@ void Mme::attach(const std::string& imsi, net::Node* ue_node, net::Node* tower,
       });
     };
     send_s6a(S6aType::AuthInfoReq, txn, imsi);
+  });
+}
+
+void Mme::send_s6a_bytes(S6aType type, std::uint64_t txn, BytesView body) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u64(txn);
+  w.bytes(body);
+  net::Packet p;
+  p.src = net::EndPoint{node_.primary_address(), port_};
+  p.dst = hss_;
+  p.proto = net::Proto::Udp;
+  p.payload = w.take();
+  node_.send(std::move(p));
+}
+
+void Mme::attach5g(Bytes suci, net::Node* ue_node, net::Node* tower, net::Link* radio_link,
+                   AttachHooks hooks) {
+  const std::uint64_t txn = next_txn_++;
+  const TimePoint started = node_.simulator().now();
+  // The SUPI is unknown until the home side confirms; filled at [AGW 4/5].
+  pending_[txn] = PendingAttach{"", ue_node, tower, radio_link, std::move(hooks), {}, started};
+  obs::inc(obs::counter("epc.mme.attach5g.attempts"));
+  obs::trace(started, obs::TraceType::EpcAttachStart, txn);
+
+  // [AGW msg 1/5] Process the Registration Request; forward the SUCI home.
+  queue_.submit(profile_.agw_msg, [this, txn, suci = std::move(suci)] {
+    awaiting_hss_[txn] = [this, txn](CowBytes payload) {
+      // [AGW msg 2/5] Process the 5G AIA; issue the challenge.
+      queue_.submit(profile_.agw_msg, [this, txn, payload = std::move(payload)] {
+        auto it = pending_.find(txn);
+        if (it == pending_.end()) return;
+        ByteReader r(payload);
+        const auto type = static_cast<S6aType>(r.u8());
+        r.u64();
+        if (type != S6aType::Auth5gInfoResp) {
+          fail(txn, "AUSF rejected 5G AIR: " +
+                        (type == S6aType::Error ? r.str() : "bad reply"));
+          return;
+        }
+        const Bytes rand = r.bytes();
+        const Bytes autn = r.bytes();
+        it->second.xres = r.bytes();  // HXRES*: the SEAF's local check value
+
+        it->second.hooks.challenge(rand, autn, [this, txn, rand](Bytes res_star) {
+          // [AGW msg 3/5] HXRES* check locally, then confirm RES* home-side.
+          queue_.submit(profile_.agw_msg, [this, txn, rand, res_star = std::move(res_star)] {
+            auto pit = pending_.find(txn);
+            if (pit == pending_.end()) return;
+            if (!constant_time_equal(hash_res_star(rand, res_star), pit->second.xres)) {
+              fail(txn, "authentication failure: HXRES* mismatch");
+              return;
+            }
+            awaiting_hss_[txn] = [this, txn](CowBytes confirm) {
+              // [AGW msg 4/5] Process the confirm; learn SUPI + KSEAF; SMC.
+              queue_.submit(profile_.agw_msg, [this, txn, confirm = std::move(confirm)] {
+                auto cit = pending_.find(txn);
+                if (cit == pending_.end()) return;
+                ByteReader cr(confirm);
+                const auto ct = static_cast<S6aType>(cr.u8());
+                cr.u64();
+                if (ct != S6aType::Auth5gConfirmResp || cr.u8() != 1) {
+                  fail(txn, "authentication failure: AUSF rejected RES*");
+                  return;
+                }
+                cit->second.imsi = cr.str();  // disclosed SUPI
+                last_kseaf_ = cr.bytes();
+                cit->second.hooks.smc([this, txn] {
+                  auto sit = pending_.find(txn);
+                  if (sit == pending_.end()) return;
+                  awaiting_hss_[txn] = [this, txn](CowBytes ula) {
+                    // [AGW msg 5/5] Process ULA; create the bearer; accept.
+                    queue_.submit(profile_.agw_msg, [this, txn, ula = std::move(ula)] {
+                      auto ait = pending_.find(txn);
+                      if (ait == pending_.end()) return;
+                      ByteReader r2(ula);
+                      const auto t2 = static_cast<S6aType>(r2.u8());
+                      if (t2 != S6aType::UpdateLocationResp) {
+                        fail(txn, "HSS rejected ULR");
+                        return;
+                      }
+                      PendingAttach ctx = std::move(ait->second);
+                      pending_.erase(ait);
+                      const net::Ipv4Addr ip = spgw_.create_session(
+                          ctx.imsi, ctx.ue_node, ctx.tower, ctx.radio_link);
+                      ++completed_;
+                      const TimePoint now = node_.simulator().now();
+                      obs::inc(obs::counter("epc.mme.attach.success"));
+                      obs::observe(obs::histogram("epc.mme.attach_latency_ms"),
+                                   (now - ctx.started_at).to_millis());
+                      obs::trace(now, obs::TraceType::EpcAttachDone, txn,
+                                 static_cast<std::uint64_t>((now - ctx.started_at).nanos() /
+                                                            1000));
+                      ctx.hooks.done(ip);
+                    });
+                  };
+                  send_s6a(S6aType::UpdateLocationReq, txn, sit->second.imsi);
+                });
+              });
+            };
+            send_s6a_bytes(S6aType::Auth5gConfirm, txn, res_star);
+          });
+        });
+      });
+    };
+    send_s6a_bytes(S6aType::Auth5gInfoReq, txn, suci);
   });
 }
 

@@ -51,9 +51,20 @@ class Mme {
   void attach(const std::string& imsi, net::Node* ue_node, net::Node* tower,
               net::Link* radio_link, AttachHooks hooks);
 
+  /// 5G registration (SEAF role): the UE supplies a SUCI, not an IMSI. The
+  /// dialog costs three home round-trips (Auth5gInfo, Auth5gConfirm, ULR)
+  /// against EPS-AKA's two — the HXRES* check is local, the RES* confirm is
+  /// not. Reuses AttachHooks: `challenge` receives (RAND, AUTN) and responds
+  /// with RES*.
+  void attach5g(Bytes suci, net::Node* ue_node, net::Node* tower, net::Link* radio_link,
+                AttachHooks hooks);
+
   /// Cumulative AGW control-plane processing time (Fig.7 breakdown).
   Duration busy_time() const { return queue_.busy_time(); }
   std::uint64_t attaches_completed() const { return completed_; }
+  /// Serving-network anchor key from the most recent completed 5G attach
+  /// (conformance tests compare it against the UE's derivation).
+  const Bytes& last_kseaf() const { return last_kseaf_; }
 
   const EpcProcProfile& profile() const { return profile_; }
   SgwPgw& spgw() { return spgw_; }
@@ -71,6 +82,7 @@ class Mme {
 
   void handle_hss_reply(const net::Packet& packet);
   void send_s6a(S6aType type, std::uint64_t txn, const std::string& imsi);
+  void send_s6a_bytes(S6aType type, std::uint64_t txn, BytesView body);
   void fail(std::uint64_t txn, const std::string& reason);
 
   net::Node& node_;
@@ -81,6 +93,7 @@ class Mme {
   std::uint16_t port_ = 0;
   std::uint64_t next_txn_ = 1;
   std::uint64_t completed_ = 0;
+  Bytes last_kseaf_;
   std::unordered_map<std::uint64_t, PendingAttach> pending_;
   // txn -> continuation invoked with the decoded HSS reply payload
   std::unordered_map<std::uint64_t, std::function<void(CowBytes)>> awaiting_hss_;

@@ -2,6 +2,7 @@
 
 #include "common/log.hpp"
 #include "epc/auth.hpp"
+#include "epc/auth5g.hpp"
 
 namespace cb::epc {
 
@@ -17,6 +18,11 @@ UeNas::UeNas(net::Network& network, net::Node& ue_node, std::string imsi, Bytes 
       ue_queue_(ue_node.simulator()),
       enb_queue_(ue_node.simulator()) {}
 
+void UeNas::enable_5g(crypto::RsaPublicKey hn_key, Rng rng) {
+  hn_key_ = std::move(hn_key);
+  suci_rng_ = rng;
+}
+
 void UeNas::attach(ran::CellId cell, std::function<void(Result<net::Ipv4Addr>)> done) {
   const ran::TowerSite site = ran_map_.site(cell);
   site.radio_link->set_up(true);  // RRC connection established
@@ -30,11 +36,27 @@ void UeNas::attach(ran::CellId cell, std::function<void(Result<net::Ipv4Addr>)> 
     enb_queue_.submit(profile_.enb_msg, [this, rand = std::move(rand), autn = std::move(autn),
                                          respond = std::move(respond)] {
       ue_queue_.submit(profile_.ue_msg, [this, rand, autn, respond = std::move(respond)] {
-        if (!verify_autn(k_, rand, autn)) {
-          CB_LOG(Warn, "ue-nas") << imsi_ << ": AUTN verification failed, aborting attach";
-          return;  // network failed to authenticate: silently drop
+        Bytes res;
+        if (is_5g()) {
+          // 5G: the AUTN carries an SQN; a stale or forged challenge aborts
+          // silently just like a 4G MAC failure (the MME times out).
+          const AutnCheck check = verify_autn_sqn(k_, rand, autn, ue_sqn_);
+          if (check.verdict != AutnVerdict::Ok) {
+            CB_LOG(Warn, "ue-nas")
+                << imsi_ << ": 5G AUTN "
+                << (check.verdict == AutnVerdict::MacFailure ? "MAC failure" : "sync failure")
+                << ", aborting attach";
+            return;
+          }
+          res = compute_res_star(k_, rand);
+          last_kseaf_ = derive_kseaf(derive_kausf(k_, rand));
+        } else {
+          if (!verify_autn(k_, rand, autn)) {
+            CB_LOG(Warn, "ue-nas") << imsi_ << ": AUTN verification failed, aborting attach";
+            return;  // network failed to authenticate: silently drop
+          }
+          res = compute_res(k_, rand);
         }
-        Bytes res = compute_res(k_, rand);
         enb_queue_.submit(profile_.enb_msg,
                           [res = std::move(res), respond = std::move(respond)]() mutable {
                             respond(std::move(res));
@@ -68,9 +90,17 @@ void UeNas::attach(ran::CellId cell, std::function<void(Result<net::Ipv4Addr>)> 
   };
 
   // [UE msg 1/4] craft Attach Request, [eNB leg 1/6] relay to the AGW.
+  // 5G crafts a SUCI instead of sending the IMSI in clear.
   ue_queue_.submit(profile_.ue_msg, [this, site, hooks = std::move(hooks)]() mutable {
-    enb_queue_.submit(profile_.enb_msg, [this, site, hooks = std::move(hooks)]() mutable {
-      mme_.attach(imsi_, &ue_node_, site.node, site.radio_link, std::move(hooks));
+    Bytes suci;
+    if (is_5g()) suci = conceal_supi(hn_key_, imsi_, suci_rng_);
+    enb_queue_.submit(profile_.enb_msg,
+                      [this, site, suci = std::move(suci), hooks = std::move(hooks)]() mutable {
+      if (is_5g()) {
+        mme_.attach5g(std::move(suci), &ue_node_, site.node, site.radio_link, std::move(hooks));
+      } else {
+        mme_.attach(imsi_, &ue_node_, site.node, site.radio_link, std::move(hooks));
+      }
     });
   });
 }

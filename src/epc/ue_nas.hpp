@@ -19,6 +19,13 @@ class UeNas {
   UeNas(net::Network& network, net::Node& ue_node, std::string imsi, Bytes k, Mme& mme,
         const ran::RanMap& ran_map, EpcProcProfile profile = {});
 
+  /// Switch this UE to 5G registration: attaches conceal the SUPI under
+  /// `hn_key` (SUCI) and run the RES*/HXRES* dialog. `rng` seeds the SUCI
+  /// concealment randomness; pass a dedicated fork so 4G worlds stay
+  /// bit-identical.
+  void enable_5g(crypto::RsaPublicKey hn_key, Rng rng);
+  bool is_5g() const { return !hn_key_.empty(); }
+
   /// Full attach on `cell`; `done` receives the assigned IP (which the UE
   /// node is configured with) or an error.
   void attach(ran::CellId cell, std::function<void(Result<net::Ipv4Addr>)> done);
@@ -41,6 +48,12 @@ class UeNas {
   Duration ue_busy_time() const { return ue_queue_.busy_time(); }
   Duration enb_busy_time() const { return enb_queue_.busy_time(); }
 
+  /// UE-derived KSEAF from the most recent 5G challenge (conformance tests
+  /// compare it against the network side's value).
+  const Bytes& last_kseaf() const { return last_kseaf_; }
+  /// UE-side SQN high-water mark (5G path), exposed for the vector tests.
+  UeSqnState& sqn_state() { return ue_sqn_; }
+
  private:
   net::Network& network_;
   net::Node& ue_node_;
@@ -56,6 +69,12 @@ class UeNas {
   ran::CellId serving_cell_ = 0;
   TimePoint attach_started_;
   Duration last_attach_latency_ = Duration::zero();
+
+  // 5G mode state (inert in 4G worlds).
+  crypto::RsaPublicKey hn_key_;
+  Rng suci_rng_{0};
+  UeSqnState ue_sqn_;
+  Bytes last_kseaf_;
 };
 
 }  // namespace cb::epc

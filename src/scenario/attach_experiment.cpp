@@ -4,9 +4,18 @@ namespace cb::scenario {
 
 AttachBreakdown run_attach_experiment(Architecture arch, Duration cloud_rtt, int n,
                                       std::uint64_t seed) {
+  // The architecture's native protocol: bit-identical to the pre-protocol-
+  // axis experiment (World resolves EpsAka -> Mno, Sap -> CellBricks).
+  return run_attach_experiment(
+      arch == Architecture::Mno ? AttachProtocol::EpsAka : AttachProtocol::Sap, cloud_rtt, n,
+      seed);
+}
+
+AttachBreakdown run_attach_experiment(AttachProtocol protocol, Duration cloud_rtt, int n,
+                                      std::uint64_t seed) {
   WorldConfig cfg;
   cfg.seed = seed;
-  cfg.arch = arch;
+  cfg.protocol = protocol;
   cfg.cloud_rtt = cloud_rtt;
   cfg.n_towers = 1;
   cfg.radio_loss = 0.0;
@@ -14,20 +23,37 @@ AttachBreakdown run_attach_experiment(Architecture arch, Duration cloud_rtt, int
   cfg.route = RouteSpec{"static", false, 0.1, 100.0, ran::RatePolicy::unlimited()};
   World world(cfg);
   auto& sim = world.simulator();
+  const Architecture arch = world.config().arch;
 
-  Summary latency_ms;
+  Summary latency_ms;  // clean full attaches
+  Summary resume_ms;   // ticket-resumed attaches
+  int cycles = 0;      // completed attach/detach cycles of any flavour
   for (int i = 0; i < n; ++i) {
+    bool done = false;
     if (arch == Architecture::CellBricks) {
-      bool done = false;
+      const std::uint64_t resumes_before = world.ue_agent()->resumes_succeeded();
+      const std::uint64_t fallbacks_before = world.ue_agent()->resume_fallbacks();
       world.ue_agent()->attach(1, [&](Result<net::Ipv4Addr>) { done = true; });
       sim.run_for(Duration::s(30));
-      if (done) latency_ms.add(world.ue_agent()->last_attach_latency().to_millis());
+      if (done) {
+        ++cycles;
+        const double ms = world.ue_agent()->last_attach_latency().to_millis();
+        if (world.ue_agent()->resumes_succeeded() > resumes_before) {
+          resume_ms.add(ms);
+        } else if (world.ue_agent()->resume_fallbacks() == fallbacks_before) {
+          // Fallback cycles carry the failed-resume legs on top of the full
+          // attach; folding them into either mean would skew it.
+          latency_ms.add(ms);
+        }
+      }
       world.ue_agent()->detach();
     } else {
-      bool done = false;
       world.ue_nas()->attach(1, [&](Result<net::Ipv4Addr>) { done = true; });
       sim.run_for(Duration::s(30));
-      if (done) latency_ms.add(world.ue_nas()->last_attach_latency().to_millis());
+      if (done) {
+        ++cycles;
+        latency_ms.add(world.ue_nas()->last_attach_latency().to_millis());
+      }
       world.ue_nas()->detach();
     }
     sim.run_for(Duration::ms(100));
@@ -35,9 +61,16 @@ AttachBreakdown run_attach_experiment(Architecture arch, Duration cloud_rtt, int
 
   AttachBreakdown out;
   out.arch = arch;
+  out.protocol = world.protocol();
   out.attaches = static_cast<int>(latency_ms.count());
   out.total_ms = latency_ms.empty() ? 0.0 : latency_ms.mean();
-  const double denom = std::max(1.0, static_cast<double>(out.attaches));
+  out.resume_ms = resume_ms.empty() ? 0.0 : resume_ms.mean();
+  out.resumes = static_cast<int>(resume_ms.count());
+  if (arch == Architecture::CellBricks) {
+    out.resume_fallbacks = static_cast<int>(world.ue_agent()->resume_fallbacks());
+  }
+  // Busy time accrues over every completed cycle, resumes included.
+  const double denom = std::max(1.0, static_cast<double>(cycles));
   if (arch == Architecture::CellBricks) {
     out.agw_core_ms = (world.btelco(0)->busy_time().to_millis() +
                        world.brokerd()->sap_busy_time().to_millis()) /

@@ -25,16 +25,32 @@ inline std::vector<AttachPlacement> attach_placements() {
 struct AttachBreakdown {
   std::string placement;
   Architecture arch;
-  double total_ms = 0.0;      // mean end-to-end attach latency
+  AttachProtocol protocol = AttachProtocol::Default;
+  double total_ms = 0.0;      // mean end-to-end attach latency (full attaches)
   double agw_core_ms = 0.0;   // AGW + SubscriberDB/brokerd processing
   double enb_ms = 0.0;        // eNB relay processing
   double ue_ms = 0.0;         // UE processing
   double other_ms = 0.0;      // remainder: dominated by AGW<->cloud RTT
   int attaches = 0;
+  /// SapResume only: ticket-resumed re-attaches (mean latency + count) and
+  /// resume attempts that fell back to a full SAP attach.
+  double resume_ms = 0.0;
+  int resumes = 0;
+  int resume_fallbacks = 0;
 };
 
 /// Run `n` sequential attach/detach cycles and return the mean breakdown.
 AttachBreakdown run_attach_experiment(Architecture arch, Duration cloud_rtt, int n,
+                                      std::uint64_t seed = 1);
+
+/// Protocol-axis variant (fig7 per-protocol rows): same cycle under an
+/// explicit attach protocol. Under SapResume the first cycle is a full SAP
+/// attach that mints the ticket; because a ticket is single-use per bTelco,
+/// later cycles on the one-tower world alternate resume / fallback-and-remint
+/// — `total_ms` averages the clean full attaches, `resume_ms` the resumes,
+/// and fallback cycles (failed resume + full attach in one latency) are
+/// excluded from both means.
+AttachBreakdown run_attach_experiment(AttachProtocol protocol, Duration cloud_rtt, int n,
                                       std::uint64_t seed = 1);
 
 /// Concurrent attach storm: `n_ues` all request attachment at once; returns

@@ -65,6 +65,15 @@ FuzzScenario random_scenario(std::uint64_t seed) {
     }
     s.faults.push_back(f);
   }
+  // Protocol axis — draws APPENDED after every existing draw, so scenarios
+  // sampled by older corpora keep their exact shape for any fixed seed.
+  // ~20% EPC baselines (split EPS-AKA / 5G-AKA) so the attach invariants see
+  // the MNO world under chaos; resumption rides on ~half the SAP worlds.
+  if (rng.chance(0.2)) {
+    s.attach_protocol = rng.chance(0.5) ? 0 : 1;
+  } else if (rng.chance(0.5)) {
+    s.resume_ticket = true;
+  }
   // Sorted by start time so the schedule reads chronologically and shrinking
   // (which drops list prefixes/suffixes) removes contiguous time ranges.
   std::stable_sort(s.faults.begin(), s.faults.end(),

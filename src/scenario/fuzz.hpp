@@ -63,6 +63,14 @@ struct FuzzScenario {
   /// BrokerCluster with the replicated settlement log (DESIGN.md §12) —
   /// sampled occasionally so the settlement invariants see chaos too.
   int broker_shards = 1;
+  /// Attach-protocol axis (scenario::AttachProtocol): 0 = EPS-AKA, 1 =
+  /// 5G-AKA (both select the MNO/EPC world), 2 = SAP (CellBricks, the
+  /// default). Sampled occasionally so the attach conformance invariants
+  /// run under the same chaos schedules as the billing ones.
+  int attach_protocol = 2;
+  /// SAP resumption tickets (attach_protocol == 2 only; the world degrades
+  /// it to plain SAP on sharded deployments).
+  bool resume_ticket = false;
   std::vector<FuzzFault> faults;
   /// TEST HOOK passthrough: re-introduce the broker's report double-count
   /// bug (Brokerd::Config::test_skip_report_dedup) so the checker's

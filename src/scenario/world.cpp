@@ -13,6 +13,22 @@ constexpr Duration kServerDelay = Duration::ms(11);   // internet -> server
 }  // namespace
 
 World::World(WorldConfig config) : config_(config), sim_(config.seed), network_(sim_) {
+  // Resolve the protocol axis before building (the architecture it selects
+  // shapes the topology's provider naming and which core gets built).
+  protocol_ = config_.protocol;
+  if (protocol_ == AttachProtocol::Default) {
+    protocol_ = config_.arch == Architecture::Mno ? AttachProtocol::EpsAka
+                                                  : AttachProtocol::Sap;
+  } else if (protocol_ == AttachProtocol::EpsAka || protocol_ == AttachProtocol::Aka5g) {
+    config_.arch = Architecture::Mno;
+  } else {
+    config_.arch = Architecture::CellBricks;
+  }
+  // The shard replication protocol has no ResumeNotify: degrade to plain
+  // SAP rather than serve resumes the settlement log would never see.
+  if (protocol_ == AttachProtocol::SapResume && config_.broker_shards > 1) {
+    protocol_ = AttachProtocol::Sap;
+  }
   build_topology();
   if (config_.arch == Architecture::Mno) {
     build_mno();
@@ -117,6 +133,13 @@ void World::build_mno() {
   mme_ = std::make_unique<epc::Mme>(*agw_, *spgw_, net::EndPoint{cloud_addr_, epc::kHssPort});
   ue_nas_ = std::make_unique<epc::UeNas>(network_, *ue_, "imsi-001", Bytes(32, 0x42), *mme_,
                                          ran_map_);
+  if (protocol_ == AttachProtocol::Aka5g) {
+    // Dedicated forks, drawn only in 5G worlds: 4G streams stay
+    // bit-identical (the conformance suite's same-seed guarantee).
+    Rng hn_rng = sim_.rng().fork(0x5A11);
+    hss_->enable_5g(hn_rng, config_.rsa_bits);
+    ue_nas_->enable_5g(hss_->home_network_key(), sim_.rng().fork(0x5AFE));
+  }
 }
 
 void World::build_cellbricks() {
@@ -135,9 +158,16 @@ void World::build_cellbricks() {
   const crypto::RsaPublicKey broker_pk = broker_cert.key();
 
   net::EndPoint broker_ep{cloud_addr_, cellbricks::kBrokerPort};
+  Bytes ticket_key;  // non-empty = resumption federation is live
   if (config_.broker_shards <= 1) {
     cellbricks::SapBroker sap_broker("broker-0", std::move(broker_keys), broker_cert,
                                      ca_->public_key());
+    if (protocol_ == AttachProtocol::SapResume) {
+      // STEK drawn from its own fork, only in resume worlds: plain-SAP
+      // streams stay bit-identical.
+      ticket_key = sim_.rng().fork(0x71C7).random_bytes(32);
+      sap_broker.enable_resume(ticket_key, config_.ticket_ttl);
+    }
     cellbricks::Brokerd::Config bcfg = config_.broker_config;
     brokerd_ = std::make_unique<cellbricks::Brokerd>(*cloud_, std::move(sap_broker), bcfg);
     brokerd_->add_subscriber("user-001", ue_keys.public_key());
@@ -183,6 +213,7 @@ void World::build_cellbricks() {
     auto telco = std::make_unique<cellbricks::Btelco>(
         network_, *towers_[static_cast<std::size_t>(i)], std::move(sap_telco), broker_cert,
         broker_ep, tcfg);
+    if (!ticket_key.empty()) telco->enable_resume(ticket_key);
     if (shard_router_) telco->set_router(shard_router_.get());
     telco_by_cell_[static_cast<ran::CellId>(i + 1)] = telco.get();
     btelcos_.push_back(std::move(telco));
@@ -192,6 +223,7 @@ void World::build_cellbricks() {
   cellbricks::UeAgent::Config ucfg = config_.ue_config;
   ucfg.underreport_factor = config_.ue_underreport;
   ucfg.report_interval = config_.report_interval;
+  if (!ticket_key.empty()) ucfg.use_resume_tickets = true;
   ue_agent_ = std::make_unique<cellbricks::UeAgent>(
       network_, *ue_, std::move(sap_ue), ran_map_,
       [this](ran::CellId cell) -> cellbricks::Btelco* {

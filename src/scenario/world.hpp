@@ -34,8 +34,38 @@ namespace cb::scenario {
 
 enum class Architecture { Mno, CellBricks };
 
+/// Attach-protocol axis (the conformance suite's test matrix). `Default`
+/// keeps the architecture's native protocol (Mno -> EpsAka, CellBricks ->
+/// Sap); any other value selects BOTH the protocol and the architecture it
+/// runs on, overriding `arch`:
+///   EpsAka     4G EPS-AKA against the HSS (two home round-trips).
+///   Aka5g      5G-AKA (SUCI concealment, RES*/HXRES*, three round-trips).
+///   Sap        CellBricks SAP (one broker round-trip).
+///   SapResume  SAP plus broker-minted resumption tickets: re-attaches are
+///              verified locally at the bTelco, no broker on the critical
+///              path. Requires the single-broker deployment — with
+///              broker_shards > 1 it degrades to plain Sap (the shard
+///              replication protocol has no ResumeNotify; DESIGN.md §14).
+enum class AttachProtocol { Default = 0, EpsAka, Aka5g, Sap, SapResume };
+
+/// Canonical spelling of the protocol axis (bench JSON keys, cbfuzz
+/// --protocol values, conformance-test labels).
+inline const char* to_string(AttachProtocol p) {
+  switch (p) {
+    case AttachProtocol::Default: return "default";
+    case AttachProtocol::EpsAka: return "eps_aka";
+    case AttachProtocol::Aka5g: return "5g_aka";
+    case AttachProtocol::Sap: return "sap";
+    case AttachProtocol::SapResume: return "sap_resume";
+  }
+  return "unknown";
+}
+
 struct WorldConfig {
   Architecture arch = Architecture::CellBricks;
+  AttachProtocol protocol = AttachProtocol::Default;
+  /// Resumption-ticket lifetime (SapResume only).
+  Duration ticket_ttl = Duration::s(60);
   RouteSpec route = suburb_day();
   std::uint64_t seed = 1;
   /// Number of towers along the route (route length = spacing * (n-1)).
@@ -103,6 +133,8 @@ class World {
 
   ran::UeRadio& radio() { return *radio_; }
   const WorldConfig& config() const { return config_; }
+  /// The protocol actually built (Default/degraded cases resolved).
+  AttachProtocol protocol() const { return protocol_; }
 
   /// Handover statistics (MTTHO for Table 1).
   std::uint64_t handovers() const;
@@ -157,6 +189,7 @@ class World {
   void install_shaper(ran::CellId cell);
 
   WorldConfig config_;
+  AttachProtocol protocol_ = AttachProtocol::Default;
   sim::Simulator sim_;
   net::Network network_;
 

@@ -1,0 +1,174 @@
+// Batch RSA signature screening (crypto/batch_verify.hpp) and its broker
+// integration (Brokerd::Config::batch_verify_reports).
+//
+// The properties that matter: (i) the screen's verdict per job is IDENTICAL
+// at any worker-thread count — results are committed into pre-assigned
+// slots, so the TSan leg runs this binary to prove the pool is race-free;
+// (ii) a forged signature is isolated to exactly its index via the
+// individual-verification fallback, never poisoning batchmates; (iii) a
+// clean batch costs one exponentiation per key group instead of one per
+// signature; (iv) the broker's report queue (including the sap_resume drive,
+// whose ResumeNotify traffic rides the same control path) ingests the same
+// counts whether the screen runs serial or threaded.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "crypto/batch_verify.hpp"
+#include "crypto/rsa.hpp"
+#include "scenario/world.hpp"
+
+namespace cb {
+namespace {
+
+using crypto::BatchVerifier;
+using crypto::RsaKeyPair;
+
+std::vector<BatchVerifier::Job> make_jobs(const std::vector<RsaKeyPair>& keys, std::size_t n,
+                                          Rng& rng) {
+  std::vector<BatchVerifier::Job> jobs;
+  for (std::size_t i = 0; i < n; ++i) {
+    const RsaKeyPair& key = keys[i % keys.size()];
+    BatchVerifier::Job job;
+    job.key = key.public_key();
+    job.message = rng.random_bytes(48);
+    job.signature = key.sign(job.message);
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+TEST(BatchVerifier, CleanBatchScreensWithoutFallback) {
+  Rng rng(1);
+  std::vector<RsaKeyPair> keys;
+  keys.push_back(RsaKeyPair::generate(rng, 512));
+  const auto jobs = make_jobs(keys, 12, rng);
+
+  const BatchVerifier verifier(0);
+  const std::vector<bool> ok = verifier.verify_all(jobs);
+  ASSERT_EQ(ok.size(), jobs.size());
+  for (std::size_t i = 0; i < ok.size(); ++i) EXPECT_TRUE(ok[i]) << "job " << i;
+  // One key group, one screening exponentiation — not 12 individual checks.
+  EXPECT_LT(verifier.last_exponentiations(), jobs.size());
+  EXPECT_EQ(verifier.last_fallbacks(), 0u);
+}
+
+TEST(BatchVerifier, ForgedSignatureIsolatedToItsIndex) {
+  Rng rng(2);
+  std::vector<RsaKeyPair> keys;
+  keys.push_back(RsaKeyPair::generate(rng, 512));
+  auto jobs = make_jobs(keys, 9, rng);
+  jobs[4].signature[3] ^= 0x40;  // tamper exactly one signature
+
+  const BatchVerifier verifier(0);
+  const std::vector<bool> ok = verifier.verify_all(jobs);
+  ASSERT_EQ(ok.size(), jobs.size());
+  for (std::size_t i = 0; i < ok.size(); ++i) {
+    EXPECT_EQ(ok[i], i != 4) << "job " << i;
+  }
+  // The failing screen fell back to per-job verification for that group.
+  EXPECT_GE(verifier.last_fallbacks(), 1u);
+}
+
+TEST(BatchVerifier, WrongKeyAndTruncatedSignatureFailClosed) {
+  Rng rng(3);
+  std::vector<RsaKeyPair> keys;
+  keys.push_back(RsaKeyPair::generate(rng, 512));
+  keys.push_back(RsaKeyPair::generate(rng, 512));
+  auto jobs = make_jobs(keys, 4, rng);
+  jobs[1].key = keys[0].public_key();  // signed by keys[1], presented as keys[0]
+  jobs[2].signature.pop_back();        // malformed wire
+
+  const std::vector<bool> ok = BatchVerifier(0).verify_all(jobs);
+  EXPECT_TRUE(ok[0]);
+  EXPECT_FALSE(ok[1]);
+  EXPECT_FALSE(ok[2]);
+  EXPECT_TRUE(ok[3]);
+}
+
+TEST(BatchVerifier, EmptyAndSingletonBatches) {
+  Rng rng(4);
+  std::vector<RsaKeyPair> keys;
+  keys.push_back(RsaKeyPair::generate(rng, 512));
+  EXPECT_TRUE(BatchVerifier(4).verify_all({}).empty());
+
+  auto jobs = make_jobs(keys, 1, rng);
+  EXPECT_EQ(BatchVerifier(4).verify_all(jobs), std::vector<bool>{true});
+  jobs[0].signature[0] ^= 1;
+  EXPECT_EQ(BatchVerifier(4).verify_all(jobs), std::vector<bool>{false});
+}
+
+TEST(BatchVerifier, VerdictsIdenticalAtAnyThreadCount) {
+  Rng rng(5);
+  std::vector<RsaKeyPair> keys;
+  for (int i = 0; i < 3; ++i) keys.push_back(RsaKeyPair::generate(rng, 512));
+  auto jobs = make_jobs(keys, 24, rng);
+  // A spread of failure modes across key groups.
+  jobs[2].signature[7] ^= 0x11;
+  jobs[9].message[0] ^= 0x01;
+  jobs[17].key = keys[0].public_key();
+
+  const std::vector<bool> serial = BatchVerifier(0).verify_all(jobs);
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    EXPECT_EQ(BatchVerifier(threads).verify_all(jobs), serial) << threads << " threads";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Broker queue integration: the screen behind Brokerd's report path
+// ---------------------------------------------------------------------------
+
+struct BrokerCounters {
+  std::uint64_t ingested = 0;
+  std::uint64_t batch_verified = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t resumes_notified = 0;
+  std::uint64_t resume_revocations = 0;
+
+  bool operator==(const BrokerCounters&) const = default;
+};
+
+BrokerCounters drive_world(scenario::AttachProtocol protocol, unsigned threads) {
+  scenario::WorldConfig cfg;
+  cfg.protocol = protocol;
+  cfg.seed = 21;
+  cfg.n_towers = 3;
+  cfg.route = scenario::RouteSpec{"batch", false, 25.0, 400.0, ran::RatePolicy::day()};
+  cfg.broker_config.batch_verify_reports = true;
+  cfg.broker_config.batch_threads = threads;
+  scenario::World world(cfg);
+  world.start();
+  world.simulator().run_for(Duration::s(35));
+
+  BrokerCounters c;
+  c.ingested = world.broker_reports_ingested();
+  c.batch_verified = world.brokerd()->reports_batch_verified();
+  c.batches = world.brokerd()->report_batches();
+  c.resumes_notified = world.brokerd()->resumes_notified();
+  c.resume_revocations = world.brokerd()->resume_revocations();
+  return c;
+}
+
+TEST(BrokerBatchQueue, ReportScreeningIsThreadCountInvariant) {
+  const BrokerCounters serial = drive_world(scenario::AttachProtocol::Sap, 0);
+  EXPECT_GT(serial.ingested, 0u);
+  EXPECT_GT(serial.batch_verified, 0u);
+  EXPECT_GT(serial.batches, 0u);
+  const BrokerCounters threaded = drive_world(scenario::AttachProtocol::Sap, 4);
+  EXPECT_EQ(threaded, serial);
+}
+
+TEST(BrokerBatchQueue, ResumeDriveSharesTheQueueDeterministically) {
+  // sap_resume replays the same drive: signed reports still funnel through
+  // the batch screen while ResumeNotify rides the same broker socket — the
+  // ticket path must not perturb the screened queue at any thread count.
+  const BrokerCounters serial = drive_world(scenario::AttachProtocol::SapResume, 0);
+  EXPECT_GT(serial.batch_verified, 0u);
+  EXPECT_GE(serial.resumes_notified, 2u);  // both cell crossings resumed
+  EXPECT_EQ(serial.resume_revocations, 0u);
+  const BrokerCounters threaded = drive_world(scenario::AttachProtocol::SapResume, 4);
+  EXPECT_EQ(threaded, serial);
+}
+
+}  // namespace
+}  // namespace cb

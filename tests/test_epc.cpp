@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "epc/auth.hpp"
+#include "epc/auth5g.hpp"
 #include "epc/hss.hpp"
 #include "epc/mme.hpp"
 #include "epc/spgw.hpp"
@@ -39,6 +40,210 @@ TEST(EpsAka, VectorsAreFresh) {
   const AuthVector b = generate_auth_vector(k, rng);
   EXPECT_NE(a.rand, b.rand);
   EXPECT_NE(a.kasme, b.kasme);
+}
+
+// --- SQN state machine (TS 33.102 §6.3 shape) ------------------------------
+
+// Table-driven freshness check: HSS issues its next SQN, the UE judges it
+// against its high-water mark. Covers the first-attach regression (a fresh
+// HSS starts at 1, not 0), the window edges, and 48-bit wraparound.
+TEST(EpsAkaSqn, FreshnessWindowTable) {
+  struct Case {
+    const char* name;
+    std::uint64_t hss_sqn;    // next-to-issue before the vector
+    std::uint64_t ue_sqn_ms;  // UE high-water mark before the check
+    AutnVerdict want;
+  };
+  const Case cases[] = {
+      {"factory-fresh first vector", 1, 0, AutnVerdict::Ok},
+      {"next in sequence", 42, 41, AutnVerdict::Ok},
+      {"replayed sqn (delta 0)", 41, 41, AutnVerdict::SyncFailure},
+      {"stale vector", 10, 40, AutnVerdict::SyncFailure},
+      {"top of the freshness window", kSqnWindow, 0, AutnVerdict::Ok},
+      {"one past the window", kSqnWindow + 1, 0, AutnVerdict::SyncFailure},
+      {"wraparound is fresh", 5, kSqnModulus - 3, AutnVerdict::Ok},
+      {"reverse wraparound is stale", kSqnModulus - 3, 5, AutnVerdict::SyncFailure},
+  };
+  const Bytes k(32, 0x42);
+  for (const Case& c : cases) {
+    Rng rng(77);
+    HssSqnState hss{c.hss_sqn};
+    UeSqnState ue{c.ue_sqn_ms};
+    const AuthVector v = generate_auth_vector_sqn(k, hss, rng);
+    EXPECT_EQ(hss.sqn, (c.hss_sqn + 1) % kSqnModulus) << c.name;
+    const AutnCheck check = verify_autn_sqn(k, v.rand, v.autn, ue);
+    EXPECT_EQ(check.verdict, c.want) << c.name;
+    EXPECT_EQ(check.sqn, c.hss_sqn) << c.name;  // AK deconcealment worked
+    if (c.want == AutnVerdict::Ok) {
+      EXPECT_EQ(ue.sqn_ms, c.hss_sqn) << c.name;  // high-water mark advanced
+    } else {
+      EXPECT_EQ(ue.sqn_ms, c.ue_sqn_ms) << c.name;  // state untouched
+      EXPECT_FALSE(check.auts.empty()) << c.name;
+    }
+  }
+}
+
+TEST(EpsAkaSqn, MacFailureTable) {
+  const Bytes k(32, 0x42);
+  Rng rng(78);
+  HssSqnState hss;
+  UeSqnState ue;
+  const AuthVector v = generate_auth_vector_sqn(k, hss, rng);
+
+  // Wrong subscriber key: the network does not know K.
+  {
+    UeSqnState fresh;
+    const Bytes wrong(32, 0x43);
+    EXPECT_EQ(verify_autn_sqn(wrong, v.rand, v.autn, fresh).verdict, AutnVerdict::MacFailure);
+  }
+  // A single flipped bit anywhere in AUTN (concealed SQN or MAC) fails.
+  for (std::size_t i : {std::size_t{0}, std::size_t{7}, std::size_t{8}, v.autn.size() - 1}) {
+    Bytes tampered = v.autn;
+    tampered[i] ^= 0x01;
+    UeSqnState fresh;
+    EXPECT_EQ(verify_autn_sqn(k, v.rand, tampered, fresh).verdict, AutnVerdict::MacFailure)
+        << "byte " << i;
+  }
+  // Truncated/oversized tokens fail closed without touching state.
+  {
+    UeSqnState fresh;
+    Bytes shorter(v.autn.begin(), v.autn.end() - 1);
+    EXPECT_EQ(verify_autn_sqn(k, v.rand, shorter, fresh).verdict, AutnVerdict::MacFailure);
+    EXPECT_EQ(fresh.sqn_ms, 0u);
+  }
+  // MAC failure never yields an AUTS: AUTS would leak a valid resync token
+  // to whoever forged the challenge.
+  UeSqnState fresh;
+  const Bytes wrong(32, 0x43);
+  EXPECT_TRUE(verify_autn_sqn(wrong, v.rand, v.autn, fresh).auts.empty());
+  // The original vector still verifies: tampering checks consumed no state.
+  EXPECT_EQ(verify_autn_sqn(k, v.rand, v.autn, ue).verdict, AutnVerdict::Ok);
+}
+
+TEST(EpsAkaSqn, ResyncRoundTripRecoversAnOutOfStepHss) {
+  // The UE is far ahead of the HSS (e.g. the HSS restored from an old
+  // backup): the challenge is stale, the AUTS carries SQN_MS back, and the
+  // next vector is fresh again.
+  const Bytes k(32, 0x42);
+  Rng rng(79);
+  HssSqnState hss{100};
+  UeSqnState ue{5'000'000'000ull};  // way past hss.sqn + window
+  const AuthVector stale = generate_auth_vector_sqn(k, hss, rng);
+  const AutnCheck check = verify_autn_sqn(k, stale.rand, stale.autn, ue);
+  ASSERT_EQ(check.verdict, AutnVerdict::SyncFailure);
+  ASSERT_FALSE(check.auts.empty());
+
+  ASSERT_TRUE(resynchronize_sqn(k, stale.rand, check.auts, hss));
+  EXPECT_EQ(hss.sqn, ue.sqn_ms + 1);  // resume one past the UE's mark
+  const AuthVector fresh = generate_auth_vector_sqn(k, hss, rng);
+  EXPECT_EQ(verify_autn_sqn(k, fresh.rand, fresh.autn, ue).verdict, AutnVerdict::Ok);
+  EXPECT_EQ(ue.sqn_ms, 5'000'000'001ull);
+}
+
+TEST(EpsAkaSqn, ForgedAutsRejected) {
+  const Bytes k(32, 0x42);
+  Rng rng(80);
+  HssSqnState hss{100};
+  UeSqnState ue{kSqnWindow + 200};
+  const AuthVector v = generate_auth_vector_sqn(k, hss, rng);
+  const AutnCheck check = verify_autn_sqn(k, v.rand, v.autn, ue);
+  ASSERT_EQ(check.verdict, AutnVerdict::SyncFailure);
+
+  const HssSqnState before = hss;
+  Bytes tampered = check.auts;
+  tampered[2] ^= 0x80;  // attacker steers the concealed SQN_MS
+  EXPECT_FALSE(resynchronize_sqn(k, v.rand, tampered, hss));
+  Bytes truncated(check.auts.begin(), check.auts.end() - 1);
+  EXPECT_FALSE(resynchronize_sqn(k, v.rand, truncated, hss));
+  // An AUTS bound to a different RAND must not resync this challenge.
+  const Bytes other_rand = rng.random_bytes(16);
+  EXPECT_FALSE(resynchronize_sqn(k, other_rand, check.auts, hss));
+  EXPECT_EQ(hss.sqn, before.sqn);  // every rejection left the state alone
+
+  EXPECT_TRUE(resynchronize_sqn(k, v.rand, check.auts, hss));
+  EXPECT_EQ(hss.sqn, ue.sqn_ms + 1);
+}
+
+TEST(EpsAkaSqn, WraparoundIssueAndResyncStayModular) {
+  const Bytes k(32, 0x42);
+  Rng rng(81);
+  // Issuing at the modulus edge wraps the next-to-issue counter to 0, and a
+  // UE just below the edge accepts the top value as fresh.
+  HssSqnState hss{kSqnModulus - 1};
+  UeSqnState ue{kSqnModulus - 2};
+  const AuthVector v = generate_auth_vector_sqn(k, hss, rng);
+  EXPECT_EQ(hss.sqn, 0u);
+  EXPECT_EQ(verify_autn_sqn(k, v.rand, v.autn, ue).verdict, AutnVerdict::Ok);
+  EXPECT_EQ(ue.sqn_ms, kSqnModulus - 1);
+  // The wrapped challenge (SQN = 0 against SQN_MS = 2^48-1) is fresh too:
+  // delta = 1 under the modular subtraction.
+  const AuthVector wrapped = generate_auth_vector_sqn(k, hss, rng);
+  EXPECT_EQ(verify_autn_sqn(k, wrapped.rand, wrapped.autn, ue).verdict, AutnVerdict::Ok);
+  EXPECT_EQ(ue.sqn_ms, 0u);
+
+  // Resync against a UE parked at the top wraps the HSS back to 0 as well.
+  HssSqnState behind{kSqnWindow * 4};  // far from the UE in both directions
+  UeSqnState at_top{kSqnModulus - 1};
+  const AuthVector stale = generate_auth_vector_sqn(k, behind, rng);
+  const AutnCheck check = verify_autn_sqn(k, stale.rand, stale.autn, at_top);
+  ASSERT_EQ(check.verdict, AutnVerdict::SyncFailure);
+  ASSERT_TRUE(resynchronize_sqn(k, stale.rand, check.auts, behind));
+  EXPECT_EQ(behind.sqn, 0u);  // (2^48-1 + 1) mod 2^48
+  const AuthVector fresh = generate_auth_vector_sqn(k, behind, rng);
+  EXPECT_EQ(verify_autn_sqn(k, fresh.rand, fresh.autn, at_top).verdict, AutnVerdict::Ok);
+}
+
+// --- 5G-AKA vectors (TS 33.501 §6.1 shape) ---------------------------------
+
+TEST(Aka5g, SuciConcealsAndRoundTrips) {
+  Rng rng(90);
+  const auto hn = crypto::RsaKeyPair::generate(rng, 512);
+  const Bytes suci = conceal_supi(hn.public_key(), "imsi-123456", rng);
+  // The permanent identifier never appears in the clear on the wire.
+  const std::string wire(suci.begin(), suci.end());
+  EXPECT_EQ(wire.find("imsi-123456"), std::string::npos);
+  auto supi = deconceal_suci(hn, suci);
+  ASSERT_TRUE(supi.ok()) << supi.error();
+  EXPECT_EQ(supi.value(), "imsi-123456");
+  // Concealment is randomized: same SUPI, different SUCI every attach.
+  EXPECT_NE(conceal_supi(hn.public_key(), "imsi-123456", rng), suci);
+  // A different home network cannot deconceal.
+  const auto other = crypto::RsaKeyPair::generate(rng, 512);
+  EXPECT_FALSE(deconceal_suci(other, suci).ok());
+}
+
+TEST(Aka5g, VectorResStarChainAndKeyHierarchyAgree) {
+  Rng rng(91);
+  const Bytes k(32, 0x42);
+  HssSqnState sqn;
+  const Auth5gVector v = generate_auth5g_vector(k, sqn, rng);
+  // UE side recomputes RES* from K and RAND; the serving side checks
+  // HXRES* locally without ever learning K.
+  const Bytes res_star = compute_res_star(k, v.rand);
+  EXPECT_EQ(res_star, v.xres_star);
+  EXPECT_EQ(hash_res_star(v.rand, res_star), v.hxres_star);
+  EXPECT_NE(compute_res_star(Bytes(32, 0x43), v.rand), v.xres_star);
+  // KAUSF -> KSEAF chain is derivable by both ends and binds the SUPI at
+  // the KAMF level.
+  const Bytes kausf = derive_kausf(k, v.rand);
+  EXPECT_EQ(kausf, v.kausf);
+  EXPECT_EQ(derive_kseaf(kausf), v.kseaf);
+  EXPECT_NE(derive_kamf(v.kseaf, "imsi-1"), derive_kamf(v.kseaf, "imsi-2"));
+}
+
+TEST(Aka5g, AutnReusesTheSqnMachinery) {
+  // The 5G AUTN is the same SQN-carrying token as 4G: replay/resync
+  // semantics carry over unchanged.
+  Rng rng(92);
+  const Bytes k(32, 0x42);
+  HssSqnState hss;
+  UeSqnState ue;
+  const Auth5gVector v = generate_auth5g_vector(k, hss, rng);
+  EXPECT_EQ(verify_autn_sqn(k, v.rand, v.autn, ue).verdict, AutnVerdict::Ok);
+  // Replaying the identical challenge is a SyncFailure, not a MacFailure.
+  UeSqnState replay_state = ue;
+  EXPECT_EQ(verify_autn_sqn(k, v.rand, v.autn, replay_state).verdict,
+            AutnVerdict::SyncFailure);
 }
 
 // A small EPC world: UE -- tower -- AGW -- internet -- server, HSS in cloud.

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "cellbricks/sap.hpp"
+#include "cellbricks/ticket.hpp"
 
 namespace cb::cellbricks {
 namespace {
@@ -250,6 +251,126 @@ TEST_F(SapTest, SessionKeysDifferAcrossAttachments) {
     return d.value().ss;
   };
   EXPECT_NE(run(), run());
+}
+
+// --- Resumption tickets: negative paths fail closed ------------------------
+//
+// The broker's reputation engine keys on these verdict strings, so each
+// rejection must be byte-deterministic, never a partial grant.
+
+TEST_F(SapTest, ResumeEnabledBrokerMintsAVerifiableTicket) {
+  const Bytes stek = rng_.random_bytes(32);
+  broker_->enable_resume(stek, Duration::s(60));
+  const Bytes req_u = ue_->make_auth_req("telco-1", rng_);
+  auto decision = broker_process(telco1_->make_auth_req_t(req_u, QosCap{}));
+  ASSERT_TRUE(decision.ok()) << decision.error();
+  auto session = ue_->process_auth_resp(decision.value().auth_resp_u);
+  ASSERT_TRUE(session.ok()) << session.error();
+  ASSERT_FALSE(session.value().ticket.empty());
+
+  // The UE derives ss_resume from ss (= kasme); a federated bTelco verifies
+  // the whole request locally and learns only the pseudonym.
+  const Bytes ss_resume = derive_resume_secret(session.value().security.kasme);
+  const Bytes req =
+      make_resume_request(session.value().ticket, "telco-2", 1, ss_resume, rng_);
+  auto grant = verify_resume_request(req, "telco-2", broker_pk_, stek, TimePoint::zero());
+  ASSERT_TRUE(grant.ok()) << grant.error();
+  EXPECT_EQ(grant.value().inner.session_id, session.value().session_id);
+  EXPECT_EQ(grant.value().inner.pseudonym.find("alice"), std::string::npos);
+}
+
+TEST_F(SapTest, TamperedTicketSignatureFailsClosedDeterministically) {
+  const Bytes stek = rng_.random_bytes(32);
+  broker_->enable_resume(stek, Duration::s(60));
+  const Bytes req_u = ue_->make_auth_req("telco-1", rng_);
+  auto decision = broker_process(telco1_->make_auth_req_t(req_u, QosCap{}));
+  ASSERT_TRUE(decision.ok());
+  auto session = ue_->process_auth_resp(decision.value().auth_resp_u);
+  ASSERT_TRUE(session.ok());
+  const Bytes ss_resume = derive_resume_secret(session.value().security.kasme);
+
+  // Flip one bit anywhere in the ticket — sealed blob, expiry, or the
+  // trailing broker signature — and the verdict is the same exact string.
+  const Bytes& ticket = session.value().ticket;
+  for (std::size_t i : {std::size_t{4}, ticket.size() / 2, ticket.size() - 1}) {
+    Bytes tampered = ticket;
+    tampered[i] ^= 0x01;
+    const Bytes req = make_resume_request(tampered, "telco-2", 0, ss_resume, rng_);
+    auto grant = verify_resume_request(req, "telco-2", broker_pk_, stek, TimePoint::zero());
+    ASSERT_FALSE(grant.ok()) << "byte " << i;
+    EXPECT_EQ(grant.error(), "resume: ticket: broker signature invalid") << "byte " << i;
+  }
+}
+
+TEST_F(SapTest, WrongStekFailsClosedWithoutLeakingContents) {
+  const Bytes stek = rng_.random_bytes(32);
+  broker_->enable_resume(stek, Duration::s(60));
+  const Bytes req_u = ue_->make_auth_req("telco-1", rng_);
+  auto decision = broker_process(telco1_->make_auth_req_t(req_u, QosCap{}));
+  ASSERT_TRUE(decision.ok());
+  auto session = ue_->process_auth_resp(decision.value().auth_resp_u);
+  ASSERT_TRUE(session.ok());
+  const Bytes ss_resume = derive_resume_secret(session.value().security.kasme);
+  const Bytes req =
+      make_resume_request(session.value().ticket, "telco-2", 0, ss_resume, rng_);
+  // A bTelco outside the federation (different STEK) cannot honour — or
+  // read — the ticket, even though the broker signature checks out.
+  const Bytes other_stek = rng_.random_bytes(32);
+  auto grant = verify_resume_request(req, "telco-2", broker_pk_, other_stek, TimePoint::zero());
+  ASSERT_FALSE(grant.ok());
+  EXPECT_NE(grant.error().find("STEK seal invalid"), std::string::npos);
+}
+
+TEST_F(SapTest, ClockSkewedTicketExpiryFailsClosedAtTheBoundary) {
+  Rng rng(55);
+  const auto broker_keys = crypto::RsaKeyPair::generate(rng, kBits);
+  const Bytes stek = rng.random_bytes(32);
+  TicketInner inner;
+  inner.pseudonym = "pseud-9";
+  inner.session_id = 9;
+  inner.ss_resume = derive_resume_secret(rng.random_bytes(32));
+  inner.ticket_id = rng.random_bytes(kTicketIdSize);
+  const TimePoint expiry = TimePoint::zero() + Duration::s(30);
+  const Bytes ticket = mint_resume_ticket(broker_keys, stek, inner, expiry, rng);
+
+  // One nanosecond before expiry: honoured. At and past expiry (a bTelco
+  // whose clock has drifted forward must still reject): fail closed.
+  const TimePoint just_before = expiry - Duration::ns(1);
+  EXPECT_TRUE(open_ticket(ticket, broker_keys.public_key(), stek, just_before).ok());
+  for (const TimePoint now : {expiry, expiry + Duration::s(10)}) {
+    auto opened = open_ticket(ticket, broker_keys.public_key(), stek, now);
+    ASSERT_FALSE(opened.ok());
+    EXPECT_EQ(opened.error(), "ticket: expired");
+  }
+}
+
+TEST_F(SapTest, StaleBrokerCertificateRejectedByTelco) {
+  const Bytes req_u = ue_->make_auth_req("telco-1", rng_);
+  auto decision = broker_process(telco1_->make_auth_req_t(req_u, QosCap{}));
+  ASSERT_TRUE(decision.ok());
+  // The broker certificate lapsed between issuance and the bTelco's check:
+  // the response is discarded, no session is installed.
+  const TimePoint past_validity = TimePoint::zero() + Duration::s(2'000'000);
+  auto session =
+      telco1_->process_auth_resp(decision.value().auth_resp_t, broker_cert_, past_validity);
+  ASSERT_FALSE(session.ok());
+  EXPECT_EQ(session.error(), "authRespT: broker certificate expired");
+}
+
+TEST_F(SapTest, StaleTelcoCertificateRejectedByBroker) {
+  // A bTelco presenting a lapsed certificate is refused service — the
+  // deterministic verdict the broker's reputation engine records.
+  auto t3_keys = crypto::RsaKeyPair::generate(rng_, kBits);
+  const TimePoint lapses = TimePoint::zero() + Duration::s(5);
+  auto t3_cert = ca_->issue("telco-3", t3_keys.public_key(), TimePoint::zero(), lapses);
+  SapTelco telco3("telco-3", std::move(t3_keys), t3_cert, ca_->public_key());
+
+  const Bytes req_u = ue_->make_auth_req("telco-3", rng_);
+  const Bytes req_t = telco3.make_auth_req_t(req_u, QosCap{});
+  auto decision = broker_->process_auth_req(req_t, lapses + Duration::s(1), rng_, QosInfo{},
+                                            /*authorize=*/nullptr);
+  ASSERT_FALSE(decision.ok());
+  EXPECT_EQ(decision.error(), "authReqT: bTelco certificate expired");
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 // cbfuzz — scenario fuzzer for the CellBricks simulation checker.
 //
 //   cbfuzz --seeds N [--base B] [--threads T] [--cadence-s C]
+//          [--protocol eps_aka|5g_aka|sap|sap_resume]
 //          [--plant-dedup-bug] [--out FILE] [--no-shrink] [--verbose]
 //       Run the seed corpus [B, B+N) (each seed samples one random scenario
 //       via scenario::random_scenario) under the full invariant catalogue.
@@ -42,6 +43,7 @@ struct Args {
   bool plant_dedup_bug = false;
   bool shrink = true;
   bool verbose = false;
+  std::string protocol;  // empty = let the sampler choose the attach protocol
   std::string out = "cbfuzz_repro.json";
   std::string replay;  // non-empty: replay mode
 };
@@ -49,6 +51,7 @@ struct Args {
 int usage() {
   std::fprintf(stderr,
                "usage: cbfuzz --seeds N [--base B] [--threads T] [--cadence-s C]\n"
+               "              [--protocol eps_aka|5g_aka|sap|sap_resume]\n"
                "              [--plant-dedup-bug] [--out FILE] [--no-shrink] [--verbose]\n"
                "       cbfuzz --seed S [...]\n"
                "       cbfuzz --replay FILE\n");
@@ -83,6 +86,15 @@ bool parse(int argc, char** argv, Args& out) {
       const char* v = next();
       if (v == nullptr) return false;
       out.cadence_s = std::atof(v);
+    } else if (flag == "--protocol") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out.protocol = v;
+      if (out.protocol != "eps_aka" && out.protocol != "5g_aka" && out.protocol != "sap" &&
+          out.protocol != "sap_resume") {
+        std::fprintf(stderr, "unknown protocol: %s\n", v);
+        return false;
+      }
     } else if (flag == "--plant-dedup-bug") {
       out.plant_dedup_bug = true;
     } else if (flag == "--no-shrink") {
@@ -115,6 +127,21 @@ bool parse(int argc, char** argv, Args& out) {
 scenario::FuzzScenario scenario_for(const Args& args, std::uint64_t seed) {
   scenario::FuzzScenario s = scenario::random_scenario(seed);
   s.plant_dedup_bug = args.plant_dedup_bug;
+  // --protocol pins the attach axis for the whole corpus (conformance
+  // sweeps); everything else about each scenario is untouched.
+  if (args.protocol == "eps_aka") {
+    s.attach_protocol = 0;
+    s.resume_ticket = false;
+  } else if (args.protocol == "5g_aka") {
+    s.attach_protocol = 1;
+    s.resume_ticket = false;
+  } else if (args.protocol == "sap") {
+    s.attach_protocol = 2;
+    s.resume_ticket = false;
+  } else if (args.protocol == "sap_resume") {
+    s.attach_protocol = 2;
+    s.resume_ticket = true;
+  }
   return s;
 }
 

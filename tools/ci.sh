@@ -38,6 +38,24 @@ else
   echo "skipped (--skip-sanitized)"
 fi
 
+echo "=== attach-protocol conformance matrix (ASan/UBSan) ==="
+# The differential protocol harness (DESIGN.md §14): every attach protocol
+# (eps_aka | 5g_aka | sap | sap_resume) through the same seeded scenario
+# matrix — clean attach, re-attach, handover, broker-unreachable, mid-attach
+# chaos, replayed/expired/forged tickets — with key-agreement transcripts
+# and same-seed fingerprints asserted. Run under the sanitizers: the ticket
+# and batch-verify paths are new callback soup, exactly where ASan earns
+# its keep. (The suite also runs in both tier-1 ctest legs above/below.)
+if [[ "${1:-}" != "--skip-sanitized" ]]; then
+  ./build-asan/tests/test_attach_protocols || {
+    echo "attach conformance matrix FAILED under ASan/UBSan"
+    exit 1
+  }
+  echo "attach conformance ok"
+else
+  echo "skipped (--skip-sanitized)"
+fi
+
 echo "=== thread-sanitized drain check (TSan, fluid parallel phase) ==="
 # The bench's 1-vs-4-thread fingerprint gate is weak evidence against a data
 # race in the FillPool: a preemption-timing-dependent race (e.g. a lagging
@@ -49,13 +67,21 @@ echo "=== thread-sanitized drain check (TSan, fluid parallel phase) ==="
 # ASan, hence its own build; only the traffic test binary is built.
 if [[ "${1:-}" != "--skip-sanitized" ]]; then
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCB_SANITIZE=thread
-  cmake --build build-tsan -j "$(nproc)" --target test_traffic
+  cmake --build build-tsan -j "$(nproc)" --target test_traffic --target test_batch_verify
   TSAN_OPTIONS=halt_on_error=1 \
     ./build-tsan/tests/test_traffic --gtest_filter='ScaleTraffic.FluidThreads*' || {
     echo "TSan drain check FAILED — data race in the parallel fill phase"
     exit 1
   }
   echo "TSan drain check ok"
+  # Batch signature verification fans RSA work out to a worker pool
+  # (DESIGN.md §14); the ticket-replay tests drive the same broker queue.
+  # Output-equality checks can't see a preemption-timing race — TSan can.
+  TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_batch_verify || {
+    echo "TSan batch-verify check FAILED — data race in the verification pool"
+    exit 1
+  }
+  echo "TSan batch-verify check ok"
 else
   echo "skipped (--skip-sanitized)"
 fi
@@ -88,19 +114,26 @@ build/bench/bench_broker_shards --replay >/dev/null || {
 }
 echo "chaos replay gate ok"
 
-echo "=== fuzz smoke (64-seed corpus, shrink-on-fail) ==="
-# Full 64 seeds on the release binary; a front slice of the same corpus on
+echo "=== fuzz smoke (96-seed corpus + protocol-pinned sweeps, shrink-on-fail) ==="
+# Full 96 seeds on the release binary (the corpus grew with the attach-
+# protocol axis: ~20% of sampled scenarios are EPC baselines, ~40% of the
+# SAP ones carry resumption tickets); a front slice of the same corpus on
 # the sanitized one (≈35x slower), catching memory bugs the invariants
 # can't. On violation cbfuzz exits nonzero after shrinking the failing
 # seed to a minimal repro — the artifact to attach to the bug report.
 run_fuzz() {
-  if ! "$1" --seeds "$2" --out fuzz_repro.json; then
+  if ! "$1" --seeds "$2" ${3:+--protocol "$3"} --out fuzz_repro.json; then
     echo "fuzz smoke FAILED — minimal repro in fuzz_repro.json:"
     cat fuzz_repro.json
     exit 1
   fi
 }
-run_fuzz build/tools/cbfuzz 64
+run_fuzz build/tools/cbfuzz 96
+# Pinned sweeps: the same chaos schedules under each attach protocol, so
+# every protocol sees every fault class regardless of the sampler's mix.
+for proto in eps_aka 5g_aka sap_resume; do
+  run_fuzz build/tools/cbfuzz 16 "$proto"
+done
 [[ -x build-asan/tools/cbfuzz ]] && run_fuzz build-asan/tools/cbfuzz 8
 
 echo "=== bench smoke (schema check) ==="
@@ -109,7 +142,7 @@ python3 - <<'EOF'
 import json
 sap = json.load(open("BENCH_sap.json"))
 scale = json.load(open("BENCH_scale.json"))
-for doc, keys in ((sap, ("bench", "mode", "baseline", "current", "speedup")),
+for doc, keys in ((sap, ("bench", "mode", "baseline", "current", "speedup", "attach")),
                   (scale, ("bench", "mode", "baseline", "current", "speedup",
                            "instrumentation", "points", "scale_curve",
                            "agreement", "thread_agreement", "metrics",
@@ -117,6 +150,22 @@ for doc, keys in ((sap, ("bench", "mode", "baseline", "current", "speedup")),
     missing = [k for k in keys if k not in doc]
     assert not missing, f"{doc.get('bench')}: missing keys {missing}"
 assert sap["bench"] == "sap_crypto" and scale["bench"] == "scale_users"
+
+# Attach-protocol suite (DESIGN.md §14): per-protocol attach-latency baseline
+# plus the fig8 re-attach gate — sap_resume strictly below sap.
+att = sap["attach"]
+for k in ("baseline", "current", "fig8_reattach", "fig9_recovery"):
+    assert k in att, f"attach: missing key {k}"
+for p in ("eps_aka_ms", "5g_aka_ms", "sap_ms", "sap_resume_ms",
+          "fig8_reattach_delta_ms"):
+    assert p in att["current"] and p in att["baseline"], f"attach: missing {p}"
+ra = att["fig8_reattach"]
+assert ra["pass"] and ra["delta_ms"] > 0
+assert ra["sap_resume"]["mean_ms"] < ra["sap"]["mean_ms"], \
+    "sap_resume re-attach latency not strictly below sap"
+assert ra["sap_resume"]["resumes"] > 0
+for proto in ("sap", "sap_resume"):
+    assert len(att["fig9_recovery"][proto]["windows_pct"]) == 9
 assert all(k in scale["points"][0] for k in ("n_ues", "arch", "loss", "mean_ms",
                                              "p99_ms", "completed", "wall_s",
                                              "sim_s", "sim_per_wall"))
