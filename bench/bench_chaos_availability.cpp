@@ -3,7 +3,9 @@
 // availability during/after faults, the re-attach latency distribution, and
 // billing-pair completion. The scenario runs twice on the same seed and
 // fails if the state fingerprints differ: fault injection must be
-// bit-reproducible for regression hunting.
+// bit-reproducible for regression hunting. A second replica pair repeats the
+// gate with the noisy measurement channel (shadowing + fast fading + L3
+// filter) enabled, pinning the channel's hash-not-RNG determinism contract.
 //
 // `--dump-faults F` writes the schedule as JSON; `--replay F` substitutes a
 // schedule from such a file — or from a cbfuzz repro document, whose
@@ -232,6 +234,26 @@ int main(int argc, char** argv) {
     std::printf("\nFAIL: %zu orphaned sessions never GCed\n", r1.orphan_sessions);
     ok = false;
   }
+  // Same gate with the measurement channel fully noisy: shadowing + fast
+  // fading + the L3 filter must not cost bit-reproducibility (the channel is
+  // a pure hash of (seed, UE, cell, position, tick), not an RNG stream).
+  ChaosConfig fading_cfg = cfg;
+  fading_cfg.world.radio_config.channel.shadow_sigma_db = 4.0;
+  fading_cfg.world.radio_config.channel.decorrelation_m = 60.0;
+  fading_cfg.world.radio_config.channel.fast_fading = true;
+  fading_cfg.world.radio_config.l3_filter_k = 4;
+  const auto fading = runner.map(2, [&fading_cfg](std::size_t) { return run_chaos(fading_cfg); });
+  const bool fading_ok = fading[0].fingerprint == fading[1].fingerprint &&
+                         fading[0].metrics_json == fading[1].metrics_json &&
+                         fading[0].trace_fingerprint == fading[1].trace_fingerprint;
+  std::printf("\nfading replica pair (shadowing 4 dB + fast fading): %s (fp %#llx)\n",
+              fading_ok ? "bit-identical" : "DIVERGED",
+              static_cast<unsigned long long>(fading[0].fingerprint));
+  if (!fading_ok) {
+    std::printf("FAIL: fading-enabled same-seed runs diverged\n");
+    ok = false;
+  }
+
   if (ok) std::printf("\ndeterminism + recovery checks passed\n");
 
   if (!json_path.empty()) {
@@ -247,11 +269,12 @@ int main(int argc, char** argv) {
                  "  \"fingerprint\": \"%#llx\",\n"
                  "  \"trace_fingerprint\": \"%#llx\",\n"
                  "  \"deterministic\": %s,\n"
+                 "  \"fading_deterministic\": %s,\n"
                  "  \"metrics\": %s\n}\n",
                  r1.availability, r1.availability_after_faults,
                  static_cast<unsigned long long>(r1.fingerprint),
                  static_cast<unsigned long long>(r1.trace_fingerprint), ok ? "true" : "false",
-                 r1.metrics_json.c_str());
+                 fading_ok ? "true" : "false", r1.metrics_json.c_str());
     std::fclose(f);
   }
   return ok ? 0 : 1;

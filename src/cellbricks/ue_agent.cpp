@@ -83,6 +83,7 @@ void UeAgent::attach_full(ran::CellId cell, std::function<void(Result<net::Ipv4A
     return;
   }
   const ran::TowerSite site = ran_map_.site(cell);
+  drop_superseded_bearer(cell);
   site.radio_link->set_up(true);  // radio-layer connectivity (reused as-is)
   attach_started_ = ue_node_.simulator().now();
   obs::inc(obs::counter("ue_agent.attach.attempts"));
@@ -98,6 +99,7 @@ void UeAgent::attach_full(ran::CellId cell, std::function<void(Result<net::Ipv4A
     obs::inc(obs::counter("ue_agent.attach.failure"));
     obs::trace(ue_node_.simulator().now(), obs::TraceType::AttachFail, cell);
     if (!attached() || serving_cell_ != cell) site.radio_link->set_up(false);
+    if (attach_pending_ == cell) attach_pending_ = 0;
     (*done_shared)(R::err(std::move(error)));
   };
 
@@ -169,6 +171,7 @@ void UeAgent::attach_resume(ran::CellId cell, std::function<void(Result<net::Ipv
     return;
   }
   const ran::TowerSite site = ran_map_.site(cell);
+  drop_superseded_bearer(cell);
   site.radio_link->set_up(true);
   attach_started_ = ue_node_.simulator().now();
   obs::inc(obs::counter("ue_agent.resume.attempts"));
@@ -182,6 +185,7 @@ void UeAgent::attach_resume(ran::CellId cell, std::function<void(Result<net::Ipv
     obs::inc(obs::counter("ue_agent.attach.failure"));
     obs::trace(ue_node_.simulator().now(), obs::TraceType::AttachFail, cell);
     if (!attached() || serving_cell_ != cell) site.radio_link->set_up(false);
+    if (attach_pending_ == cell) attach_pending_ = 0;
     (*done_shared)(R::err(std::move(error)));
   };
 
@@ -269,6 +273,7 @@ void UeAgent::complete_attach(
   serving_cell_ = cell;
   serving_telco_ = telco;
   session_id_ = session_id;
+  attach_pending_ = 0;
   ue_node_.add_address(ip);
   ue_node_.set_default_route(site.radio_link);
 
@@ -318,6 +323,18 @@ void UeAgent::complete_attach(
   if (mptcp_) mptcp_->notify_address_available(current_ip_);
   if (on_attached) on_attached(cell, last_attach_latency_);
   (*done_shared)(current_ip_);
+}
+
+// An attach superseded mid-flight (generation bump from a newer mobility
+// event) never runs its fail path — the continuations all bail on the
+// generation check — so its target bearer would stay admin-up forever.
+// Lower the stale one before raising the next target's: break-before-make
+// holds across retargets, which the session.single_bearer invariant checks.
+void UeAgent::drop_superseded_bearer(ran::CellId next) {
+  if (attach_pending_ != 0 && attach_pending_ != next && attach_pending_ != serving_cell_) {
+    ran_map_.site(attach_pending_).radio_link->set_up(false);
+  }
+  attach_pending_ = next;
 }
 
 void UeAgent::attach_with_recovery(ran::CellId preferred) {
@@ -555,6 +572,12 @@ void UeAgent::detach_locally() {
   for (auto& [seq, out] : outstanding_reports_) out.timer.cancel();
   const ran::TowerSite site = ran_map_.site(serving_cell_);
   site.radio_link->set_up(false);
+  // The generation bump below orphans any in-flight attach, so close its
+  // optimistically-raised bearer here — nothing else will.
+  if (attach_pending_ != 0 && attach_pending_ != serving_cell_) {
+    ran_map_.site(attach_pending_).radio_link->set_up(false);
+  }
+  attach_pending_ = 0;
   ue_node_.remove_address(current_ip_);
   // (The bTelco unregisters the address from the routing oracle when it
   // releases the session.)

@@ -159,6 +159,7 @@ class UeAgent {
   void handle_report_ack(std::uint64_t seq);
   void handle_redirect(std::uint64_t seq, std::uint16_t bucket, std::uint16_t owner);
   void detach_locally();  // radio + IP teardown, no bTelco signalling
+  void drop_superseded_bearer(ran::CellId next);
   void try_attach(ran::CellId preferred);
   ran::CellId pick_candidate(ran::CellId preferred);
   void schedule_retry(ran::CellId preferred);
@@ -198,6 +199,12 @@ class UeAgent {
   sim::EventHandle attach_deadline_;
   sim::EventHandle watchdog_timer_;
   std::uint64_t attach_generation_ = 0;
+  // Cell of the attach attempt currently in flight (0 = none). A newer
+  // mobility event can supersede that attempt via the generation bump, in
+  // which case none of its continuations run — the next attach uses this to
+  // lower the superseded target's optimistically-raised bearer
+  // (break-before-make must hold across retargets too).
+  ran::CellId attach_pending_ = 0;
 
   // Reliable report channel (ordered so the post-attach flush is
   // deterministic and oldest-first).

@@ -1,0 +1,117 @@
+#include "check/ran_invariants.hpp"
+
+#include <sstream>
+
+namespace cb::check {
+
+namespace {
+
+using When = InvariantEngine::When;
+using Reporter = InvariantEngine::Reporter;
+
+// FP slack: margins are stored as fl(best - serving) while the policy
+// compared best > serving + hysteresis, so the stored value can round a hair
+// under the threshold.
+constexpr double kMarginSlack = 1e-9;
+
+}  // namespace
+
+void install_ran_invariants(InvariantEngine& engine, scenario::World& world) {
+  auto* w = &world;
+
+  engine.add("ran.serving_in_table", When::Periodic, [w](Reporter& r) {
+    const ran::UeRadio& radio = w->radio();
+    const ran::CellId serving = radio.serving_cell();
+    if (serving == 0) return;  // not camped: nothing to track
+    if (!radio.table_contains(serving)) {
+      std::ostringstream s;
+      s << "serving cell " << serving
+        << " missing from the neighbor table (the measurement loop must "
+           "always track the camped cell)";
+      r.fail(s.str());
+    }
+  });
+
+  engine.add("ran.reselection_margin", When::Periodic, [w](Reporter& r) {
+    const ran::UeRadio& radio = w->radio();
+    const ran::UeRadioConfig& cfg = radio.config();
+    for (const ran::ReselectionEvent& e : radio.reselections()) {
+      switch (e.reason) {
+        case ran::ReselectReason::A3:
+          if (e.margin_db < cfg.hysteresis_db - kMarginSlack) {
+            std::ostringstream s;
+            s << "A3 reselection " << e.from << " -> " << e.to << " at "
+              << e.at.to_seconds() << "s with margin " << e.margin_db
+              << " dB < hysteresis " << cfg.hysteresis_db << " dB";
+            r.fail(s.str());
+          }
+          break;
+        case ran::ReselectReason::Ttt:
+          if (e.margin_db < cfg.hysteresis_db - kMarginSlack) {
+            std::ostringstream s;
+            s << "TTT reselection " << e.from << " -> " << e.to
+              << " with margin " << e.margin_db << " dB < hysteresis "
+              << cfg.hysteresis_db << " dB";
+            r.fail(s.str());
+          }
+          if (e.held < cfg.time_to_trigger) {
+            std::ostringstream s;
+            s << "TTT reselection " << e.from << " -> " << e.to
+              << " fired after holding only " << e.held.to_seconds()
+              << "s < time-to-trigger " << cfg.time_to_trigger.to_seconds()
+              << "s";
+            r.fail(s.str());
+          }
+          break;
+        case ran::ReselectReason::Rank:
+          if (e.margin_db <= 0.0) {
+            std::ostringstream s;
+            s << "rank reselection " << e.from << " -> " << e.to
+              << " with non-positive margin " << e.margin_db << " dB";
+            r.fail(s.str());
+          }
+          break;
+        case ran::ReselectReason::Acquire:
+        case ran::ReselectReason::FloorLoss:
+          break;  // no margin requirement: forced moves
+      }
+    }
+  });
+
+  engine.add("ran.cell_change_conservation", When::Periodic, [w](Reporter& r) {
+    const ran::UeRadio& radio = w->radio();
+    const auto& events = radio.reselections();
+    if (events.size() != radio.cell_changes()) {
+      std::ostringstream s;
+      s << "audit log holds " << events.size() << " reselections but the radio "
+        << "counted " << radio.cell_changes() << " cell changes";
+      r.fail(s.str());
+    }
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      if (events[i].from == events[i].to) {
+        std::ostringstream s;
+        s << "reselection " << i << " is a self-transition (cell "
+          << events[i].from << ")";
+        r.fail(s.str());
+      }
+      if (i > 0 && events[i].from != events[i - 1].to) {
+        std::ostringstream s;
+        s << "reselection chain broken at event " << i << ": from "
+          << events[i].from << " but the previous event landed on "
+          << events[i - 1].to;
+        r.fail(s.str());
+      }
+    }
+    const std::uint64_t changes = radio.cell_changes();
+    const std::uint64_t expect = changes > 0 ? changes - 1 : 0;
+    if (w->handovers() != expect) {
+      std::ostringstream s;
+      s << "world reports " << w->handovers() << " handovers for " << changes
+        << " cell changes (expected changes minus the initial acquisition = "
+        << expect << ")";
+      r.fail(s.str());
+    }
+  });
+}
+
+}  // namespace cb::check

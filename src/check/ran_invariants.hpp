@@ -1,0 +1,29 @@
+// Measurement-layer invariant catalogue for the UE radio pipeline.
+//
+// The UeRadio keeps an audit log of every reselection (reason, filtered
+// margin, TTT hold time) plus the live L3 neighbor table; these checkers
+// cross-examine that evidence against the configured policy:
+//
+//   ran.serving_in_table        whenever the UE is camped, the serving cell
+//                               has a row in the neighbor table (the floor
+//                               rule always tracks it)
+//   ran.reselection_margin      every A3 reselection shows margin >
+//                               hysteresis; every TTT reselection also shows
+//                               held >= time_to_trigger — no reselection
+//                               without margin-over-TTT
+//   ran.cell_change_conservation audit-log length == cell_changes(), the
+//                               from/to chain is contiguous, and the world's
+//                               handover count is consistent with it
+//
+// Like the rest of the catalogue these are read-only and draw no randomness,
+// so arming them never perturbs the chaos fingerprints.
+#pragma once
+
+#include "check/invariant.hpp"
+#include "scenario/world.hpp"
+
+namespace cb::check {
+
+void install_ran_invariants(InvariantEngine& engine, scenario::World& world);
+
+}  // namespace cb::check

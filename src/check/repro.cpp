@@ -66,6 +66,14 @@ JsonValue scenario_to_json(const scenario::FuzzScenario& s) {
   // Emitted only off-default so pre-existing repro files stay byte-stable.
   if (s.attach_protocol != 2) o["attach_protocol"] = s.attach_protocol;
   if (s.resume_ticket) o["resume_ticket"] = true;
+  if (s.shadow_sigma_db != 0.0) {
+    o["shadow_sigma_db"] = s.shadow_sigma_db;
+    o["decorrelation_m"] = s.decorrelation_m;
+  }
+  if (s.fast_fading) o["fast_fading"] = true;
+  if (s.reselection_policy != 0) o["reselection_policy"] = s.reselection_policy;
+  if (s.ttt_ms != 0) o["ttt_ms"] = s.ttt_ms;
+  if (s.l3_filter_k != 0) o["l3_filter_k"] = s.l3_filter_k;
   o["faults"] = std::move(faults);
   if (s.plant_dedup_bug) o["plant_dedup_bug"] = true;
   return JsonValue(std::move(o));
@@ -94,6 +102,17 @@ scenario::FuzzScenario scenario_from_json(const JsonValue& v) {
     throw std::runtime_error("repro: attach_protocol must be 0 (eps_aka), 1 (5g_aka) or 2 (sap)");
   }
   s.resume_ticket = v.get("resume_ticket", JsonValue(false)).as_bool();
+  s.shadow_sigma_db = v.get("shadow_sigma_db", JsonValue(0.0)).as_double();
+  s.decorrelation_m = v.get("decorrelation_m", JsonValue(50.0)).as_double();
+  s.fast_fading = v.get("fast_fading", JsonValue(false)).as_bool();
+  s.reselection_policy =
+      static_cast<int>(v.get("reselection_policy", JsonValue(0)).as_int());
+  if (s.reselection_policy < 0 || s.reselection_policy > 2) {
+    throw std::runtime_error(
+        "repro: reselection_policy must be 0 (a3), 1 (a3_ttt) or 2 (rank)");
+  }
+  s.ttt_ms = static_cast<int>(v.get("ttt_ms", JsonValue(0)).as_int());
+  s.l3_filter_k = static_cast<int>(v.get("l3_filter_k", JsonValue(0)).as_int());
   s.plant_dedup_bug = v.get("plant_dedup_bug", JsonValue(false)).as_bool();
   if (s.n_towers < 1) throw std::runtime_error("repro: n_towers must be >= 1");
   s.faults.clear();

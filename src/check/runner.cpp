@@ -7,6 +7,7 @@
 #include "apps/ping.hpp"
 #include "check/attach_invariants.hpp"
 #include "check/fluid_invariants.hpp"
+#include "check/ran_invariants.hpp"
 #include "check/settlement_invariants.hpp"
 #include "check/world_invariants.hpp"
 #include "scenario/scale_traffic.hpp"
@@ -51,6 +52,14 @@ scenario::WorldConfig world_config(const scenario::FuzzScenario& s) {
   w.ue_underreport = s.ue_underreport;
   w.broker_config.test_skip_report_dedup = s.plant_dedup_bug;
   w.broker_shards = s.broker_shards;
+  // Measurement axis: channel noise + policy (radio seed derives from the
+  // world seed inside World).
+  w.radio_config.channel.shadow_sigma_db = s.shadow_sigma_db;
+  w.radio_config.channel.decorrelation_m = s.decorrelation_m;
+  w.radio_config.channel.fast_fading = s.fast_fading;
+  w.radio_config.policy = static_cast<ran::ReselectionPolicyKind>(s.reselection_policy);
+  w.radio_config.time_to_trigger = Duration::ms(s.ttt_ms);
+  w.radio_config.l3_filter_k = s.l3_filter_k;
   return w;
 }
 
@@ -146,6 +155,7 @@ RunReport run_scenario(const scenario::FuzzScenario& s, const RunOptions& option
   InvariantEngine engine;
   install_world_invariants(engine, world, &probe);
   install_attach_invariants(engine, world);
+  install_ran_invariants(engine, world);
   if (world.broker_cluster() != nullptr) {
     install_settlement_invariants(engine, world);
   }

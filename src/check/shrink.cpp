@@ -156,6 +156,26 @@ bool simplify_knobs(scenario::FuzzScenario& best, Oracle& oracle, Violation& wit
        [](const scenario::FuzzScenario& s) { return s.fluid_ues > 0 && s.fluid_hybrid; }},
       {"resume-off", [](scenario::FuzzScenario& s) { s.resume_ticket = false; },
        [](const scenario::FuzzScenario& s) { return s.resume_ticket; }},
+      {"fading-off",
+       [](scenario::FuzzScenario& s) {
+         // Quiet channel: pure path loss (the pre-measurement engine).
+         // Decorrelation is canonically back at its default once sigma is 0
+         // (the serializer omits both together).
+         s.shadow_sigma_db = 0.0;
+         s.decorrelation_m = 50.0;
+         s.fast_fading = false;
+       },
+       [](const scenario::FuzzScenario& s) {
+         return s.shadow_sigma_db != 0.0 || s.fast_fading;
+       }},
+      {"policy-a3",
+       [](scenario::FuzzScenario& s) {
+         s.reselection_policy = 0;
+         s.ttt_ms = 0;
+       },
+       [](const scenario::FuzzScenario& s) { return s.reselection_policy != 0; }},
+      {"l3-off", [](scenario::FuzzScenario& s) { s.l3_filter_k = 0; },
+       [](const scenario::FuzzScenario& s) { return s.l3_filter_k != 0; }},
       {"protocol-eps",
        [](scenario::FuzzScenario& s) {
          // Collapse the protocol axis to the EPS-AKA baseline — the

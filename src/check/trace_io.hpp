@@ -1,0 +1,23 @@
+// JSON round-trip for drive-test traces (format "cb-drivetest-v1").
+//
+// Lives in src/check so the ran library stays JSON-free. The serializer
+// prints doubles with enough digits to round-trip exactly (see json.cpp), so
+// a committed fixture replays the recorded positions and RSRP values
+// bit-for-bit — the property the trace round-trip tests pin.
+#pragma once
+
+#include <string>
+
+#include "check/json.hpp"
+#include "ran/drive_trace.hpp"
+
+namespace cb::check {
+
+JsonValue trace_to_json(const ran::DriveTestTrace& trace);
+ran::DriveTestTrace trace_from_json(const JsonValue& v);
+
+/// Convenience wrappers: full document with the format tag.
+std::string write_trace(const ran::DriveTestTrace& trace);
+ran::DriveTestTrace load_trace(const std::string& text);
+
+}  // namespace cb::check

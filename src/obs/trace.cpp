@@ -46,6 +46,7 @@ const char* to_string(TraceType type) {
     case TraceType::SubflowClose: return "subflow_close";
     case TraceType::EpcAttachStart: return "epc_attach_start";
     case TraceType::EpcAttachDone: return "epc_attach_done";
+    case TraceType::Reselection: return "reselection";
   }
   return "unknown";
 }

@@ -55,6 +55,10 @@ enum class TraceType : std::uint8_t {
   // EPC baseline attach (a = MME transaction).
   EpcAttachStart,
   EpcAttachDone,
+  // Measurement-driven reselection audit (a = target cell, b = reason as
+  // ran::ReselectReason). Appended after every pre-existing type so older
+  // recorded rings keep their numeric encoding.
+  Reselection,
 };
 
 const char* to_string(TraceType type);

@@ -1,0 +1,78 @@
+#include "ran/channel.hpp"
+
+#include <cmath>
+
+namespace cb::ran {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) { return splitmix64(h ^ v); }
+
+/// Uniform in (0, 1), never exactly 0 or 1 (log() below must stay finite).
+double unit_open(std::uint64_t h) {
+  return (static_cast<double>(h >> 11) + 0.5) * 0x1.0p-53;
+}
+
+/// Standard normal from one hash value (Box-Muller on two derived uniforms).
+double gaussian(std::uint64_t h) {
+  const double u1 = unit_open(h);
+  const double u2 = unit_open(splitmix64(h));
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+}
+
+/// Per-corner lattice Gaussian for the shadowing field.
+double corner(std::uint64_t base, std::int64_t i, std::int64_t j) {
+  std::uint64_t h = mix(base, static_cast<std::uint64_t>(i));
+  h = mix(h, static_cast<std::uint64_t>(j));
+  return gaussian(h);
+}
+
+}  // namespace
+
+double Channel::shadowing_db(std::uint32_t ue, CellId cell, const Point& where) const {
+  if (config_.shadow_sigma_db <= 0.0) return 0.0;
+  const double d = config_.decorrelation_m > 1e-6 ? config_.decorrelation_m : 50.0;
+  std::uint64_t base = mix(config_.seed, 0x5AD0u);  // shadowing stream tag
+  base = mix(base, ue);
+  base = mix(base, cell);
+  const double gx = where.x / d;
+  const double gy = where.y / d;
+  const auto i = static_cast<std::int64_t>(std::floor(gx));
+  const auto j = static_cast<std::int64_t>(std::floor(gy));
+  const double fx = gx - static_cast<double>(i);
+  const double fy = gy - static_cast<double>(j);
+  const double c00 = corner(base, i, j);
+  const double c10 = corner(base, i + 1, j);
+  const double c01 = corner(base, i, j + 1);
+  const double c11 = corner(base, i + 1, j + 1);
+  const double v = c00 * (1.0 - fx) * (1.0 - fy) + c10 * fx * (1.0 - fy) +
+                   c01 * (1.0 - fx) * fy + c11 * fx * fy;
+  return config_.shadow_sigma_db * v;
+}
+
+double Channel::fading_db(std::uint32_t ue, CellId cell, TimePoint at) const {
+  if (!config_.fast_fading) return 0.0;
+  std::uint64_t h = mix(config_.seed, 0xFADEu);  // fading stream tag
+  h = mix(h, ue);
+  h = mix(h, cell);
+  h = mix(h, static_cast<std::uint64_t>(at.nanos()));
+  return config_.fading_sigma_db * gaussian(h);
+}
+
+double Channel::rsrp_dbm(const Cell& cell, std::uint32_t ue, const Point& where,
+                         TimePoint at) const {
+  const double pure = RadioEnvironment::rsrp_dbm(cell, where);
+  if (noiseless()) return pure;  // bit-compatible with the pre-channel engine
+  return pure + shadowing_db(ue, cell.id, where) + fading_db(ue, cell.id, at);
+}
+
+}  // namespace cb::ran

@@ -1,0 +1,69 @@
+// Deterministic measurement channel: spatially-correlated log-normal
+// shadowing plus optional fast-fading jitter layered on top of the pure
+// path-loss model in RadioEnvironment.
+//
+// Every noise term is a PURE FUNCTION of (seed, ue, cell, position, time):
+// values come from counter-style hashing, never from a stateful RNG stream.
+// That makes measurements order-independent — a scan at time t returns the
+// same RSRP no matter what was measured before it — so same-seed replays
+// stay bit-identical even when the measurement schedule interleaves with
+// chaos faults, and a recorded drive-test trace replays exactly.
+//
+// Spatial correlation uses a lattice of per-corner Gaussians hashed from
+// (seed, ue, cell, i, j) with bilinear interpolation; the lattice spacing is
+// the decorrelation distance, so two positions a few metres apart share
+// corners (correlated) while positions a lattice cell apart are independent
+// — the standard exponential-decorrelation idiom (3GPP TR 38.901 §7.4.4)
+// reduced to something hashable.
+//
+// The all-defaults channel (sigma 0, fading off) short-circuits to the pure
+// path-loss value, preserving the pre-channel engine bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+#include "ran/radio.hpp"
+
+namespace cb::ran {
+
+struct ChannelConfig {
+  /// Log-normal shadowing standard deviation in dB. 0 = off (bit-compatible
+  /// with the pure path-loss engine).
+  double shadow_sigma_db = 0.0;
+  /// Shadowing decorrelation distance in metres (lattice spacing).
+  double decorrelation_m = 50.0;
+  /// Per-measurement fast-fading jitter on top of shadowing.
+  bool fast_fading = false;
+  double fading_sigma_db = 2.0;
+  /// World seed; forked internally per noise term so the channel never
+  /// correlates with any simulator Rng stream.
+  std::uint64_t seed = 0;
+};
+
+class Channel {
+ public:
+  Channel() = default;
+  explicit Channel(ChannelConfig config) : config_(config) {}
+
+  const ChannelConfig& config() const { return config_; }
+  bool noiseless() const {
+    return config_.shadow_sigma_db <= 0.0 && !config_.fast_fading;
+  }
+
+  /// Shadowing offset in dB for `ue` towards `cell` at `where` (0 when off).
+  double shadowing_db(std::uint32_t ue, CellId cell, const Point& where) const;
+
+  /// Fast-fading offset in dB at measurement instant `at` (0 when off).
+  double fading_db(std::uint32_t ue, CellId cell, TimePoint at) const;
+
+  /// Measured RSRP: path loss + shadowing + fading. Bit-identical to
+  /// RadioEnvironment::rsrp_dbm when the channel is noiseless.
+  double rsrp_dbm(const Cell& cell, std::uint32_t ue, const Point& where,
+                  TimePoint at) const;
+
+ private:
+  ChannelConfig config_{};
+};
+
+}  // namespace cb::ran

@@ -1,0 +1,21 @@
+#include "ran/drive_trace.hpp"
+
+#include <stdexcept>
+
+namespace cb::ran {
+
+Trajectory DriveTestTrace::trajectory() const {
+  if (samples.empty()) throw std::invalid_argument("DriveTestTrace: no samples");
+  std::vector<TimedPoint> timed;
+  timed.reserve(samples.size());
+  for (const Sample& s : samples) timed.push_back(TimedPoint{s.at, s.position});
+  return Trajectory(std::move(timed));
+}
+
+double DriveTestTrace::mttho_s() const {
+  if (reselections.size() < 2 || samples.empty()) return 0.0;
+  const double span_s = samples.back().at.to_seconds();
+  return span_s / static_cast<double>(reselections.size() - 1);
+}
+
+}  // namespace cb::ran

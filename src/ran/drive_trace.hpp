@@ -1,0 +1,57 @@
+// Drive-test traces: the (time, position, serving, neighbor-table) sequence
+// of one UE's measurement loop, recorded per tick and replayable as a
+// Trajectory source. A trace is self-contained — it carries the cell layout
+// and the radio/channel/policy configuration that produced it — so a
+// committed fixture replays the exact reselection decisions with no other
+// repo state (the MobileAtlas-style ground truth for MTTHO calibration).
+//
+// JSON serialization lives in src/check/trace_io.* (the ran library stays
+// free of the checker's JSON dependency).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+#include "ran/radio.hpp"
+#include "ran/trajectory.hpp"
+#include "ran/ue_radio.hpp"
+
+namespace cb::ran {
+
+struct DriveTestTrace {
+  struct Neighbor {
+    CellId cell = 0;
+    double rsrp_dbm = -140.0;      // instantaneous (channel-noisy) sample
+    double filtered_dbm = -140.0;  // L3-filtered quality
+  };
+  struct Sample {
+    Duration at = Duration::zero();  // relative to measurement start
+    Point position;
+    CellId serving = 0;
+    std::vector<Neighbor> neighbors;
+  };
+  struct Reselection {
+    Duration at = Duration::zero();
+    CellId from = 0;
+    CellId to = 0;
+  };
+
+  /// Cell layout of the environment the trace was recorded in.
+  std::vector<Cell> cells;
+  /// Radio configuration (policy, hysteresis, L3 filter, channel) in effect.
+  UeRadioConfig config;
+  std::vector<Sample> samples;
+  /// The serving-cell changes the recording made (replay ground truth).
+  std::vector<Reselection> reselections;
+
+  /// Rebuild the recorded path as a timed trajectory; replaying it over the
+  /// same cell layout and config reproduces every sample position bit-exactly
+  /// at each measurement tick.
+  Trajectory trajectory() const;
+
+  /// MTTHO over the recorded window (excludes the initial acquisition).
+  double mttho_s() const;
+};
+
+}  // namespace cb::ran

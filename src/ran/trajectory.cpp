@@ -16,7 +16,40 @@ Trajectory::Trajectory(std::vector<Point> waypoints, double speed_mps)
   }
 }
 
+Trajectory::Trajectory(std::vector<TimedPoint> samples) : speed_(0.0) {
+  if (samples.empty()) throw std::invalid_argument("Trajectory: no samples");
+  waypoints_.reserve(samples.size());
+  times_.reserve(samples.size());
+  cumulative_.push_back(0.0);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (i > 0) {
+      if (samples[i].at <= samples[i - 1].at) {
+        throw std::invalid_argument("Trajectory: sample times must increase");
+      }
+      total_length_ += distance(samples[i - 1].point, samples[i].point);
+      cumulative_.push_back(total_length_);
+    }
+    waypoints_.push_back(samples[i].point);
+    times_.push_back(samples[i].at);
+  }
+  const double span_s = (times_.back() - times_.front()).to_seconds();
+  speed_ = span_s > 0.0 ? total_length_ / span_s : 0.0;
+}
+
 Point Trajectory::position(Duration t) const {
+  if (!times_.empty()) {
+    // Timed replay: clamp to the recorded window, then interpolate in time.
+    if (t <= times_.front() || waypoints_.size() == 1) return waypoints_.front();
+    if (t >= times_.back()) return waypoints_.back();
+    std::size_t i = 1;
+    while (times_[i] < t) ++i;
+    if (times_[i] == t) return waypoints_[i];  // exact tick: bit-exact sample
+    const double seg = (times_[i] - times_[i - 1]).to_seconds();
+    const double frac = seg > 0.0 ? (t - times_[i - 1]).to_seconds() / seg : 0.0;
+    const Point& a = waypoints_[i - 1];
+    const Point& b = waypoints_[i];
+    return Point{a.x + (b.x - a.x) * frac, a.y + (b.y - a.y) * frac};
+  }
   const double travelled = speed_ * t.to_seconds();
   if (travelled <= 0.0 || waypoints_.size() == 1) return waypoints_.front();
   if (travelled >= total_length_) return waypoints_.back();
@@ -31,7 +64,10 @@ Point Trajectory::position(Duration t) const {
   return Point{a.x + (b.x - a.x) * frac, a.y + (b.y - a.y) * frac};
 }
 
-Duration Trajectory::duration() const { return Duration::seconds(total_length_ / speed_); }
+Duration Trajectory::duration() const {
+  if (!times_.empty()) return times_.back() - times_.front();
+  return Duration::seconds(total_length_ / speed_);
+}
 
 Trajectory Trajectory::line(double length_m, double speed_mps) {
   return Trajectory({Point{0, 0}, Point{length_m, 0}}, speed_mps);

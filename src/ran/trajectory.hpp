@@ -10,10 +10,24 @@
 
 namespace cb::ran {
 
+/// One waypoint with an explicit arrival time (drive-test trace replay).
+struct TimedPoint {
+  Duration at = Duration::zero();
+  Point point;
+};
+
 class Trajectory {
  public:
   /// `waypoints` must contain at least one point; `speed` in m/s.
   Trajectory(std::vector<Point> waypoints, double speed_mps);
+
+  /// Timed path: position interpolates linearly between consecutive samples;
+  /// timestamps must be strictly increasing. A query landing exactly on a
+  /// sample instant returns that sample's point bit-exactly, so a replayed
+  /// drive-test trace reproduces the recording's positions at every
+  /// measurement tick. Speed may vary per segment (speed() reports the
+  /// path average).
+  explicit Trajectory(std::vector<TimedPoint> samples);
 
   /// Position after travelling for `t` (clamped to the final waypoint).
   Point position(Duration t) const;
@@ -30,6 +44,7 @@ class Trajectory {
  private:
   std::vector<Point> waypoints_;
   std::vector<double> cumulative_;  // distance up to waypoint i
+  std::vector<Duration> times_;     // non-empty only for timed trajectories
   double speed_;
   double total_length_ = 0.0;
 };

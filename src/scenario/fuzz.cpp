@@ -74,6 +74,34 @@ FuzzScenario random_scenario(std::uint64_t seed) {
   } else if (rng.chance(0.5)) {
     s.resume_ticket = true;
   }
+  // Measurement axis — again appended, again with a fixed draw count per
+  // branch so older seeds reproduce bit-exactly. ~35% of worlds get a noisy
+  // channel; the policy draw is independent so the A/B runs both with and
+  // without fading.
+  if (rng.chance(0.35)) {
+    s.shadow_sigma_db = rng.uniform(2.0, 8.0);
+    s.decorrelation_m = rng.uniform(25.0, 110.0);
+    s.fast_fading = rng.chance(0.4);
+  }
+  const std::uint64_t policy = rng.next_below(4);  // 0/1 -> A3 (weighted)
+  if (policy == 2) {
+    s.reselection_policy = 1;
+    const int ttts[] = {160, 320, 480, 640};
+    s.ttt_ms = ttts[rng.next_below(4)];
+  } else if (policy == 3) {
+    s.reselection_policy = 2;
+  }
+  if (rng.chance(0.3)) {
+    const int ks[] = {4, 8, 12};
+    s.l3_filter_k = ks[rng.next_below(3)];
+  }
+  // Rank-based reselection on a noisy channel with no smoothing ping-pongs
+  // pathologically (that is the point of the strawman, but it swamps the
+  // checker's horizon); give those worlds at least the k=4 filter. Pure
+  // post-processing — no extra rng draws.
+  if (s.reselection_policy == 2 && s.shadow_sigma_db > 0.0 && s.l3_filter_k < 4) {
+    s.l3_filter_k = 4;
+  }
   // Sorted by start time so the schedule reads chronologically and shrinking
   // (which drops list prefixes/suffixes) removes contiguous time ranges.
   std::stable_sort(s.faults.begin(), s.faults.end(),

@@ -71,6 +71,17 @@ struct FuzzScenario {
   /// SAP resumption tickets (attach_protocol == 2 only; the world degrades
   /// it to plain SAP on sharded deployments).
   bool resume_ticket = false;
+  /// Measurement-channel axis (ran::ChannelConfig): log-normal shadowing
+  /// sigma (0 = the pure-path-loss engine), its spatial decorrelation
+  /// distance, and per-tick fast fading.
+  double shadow_sigma_db = 0.0;
+  double decorrelation_m = 50.0;
+  bool fast_fading = false;
+  /// Reselection-policy axis (ran::ReselectionPolicyKind): 0 = A3
+  /// hysteresis (default), 1 = A3 + time-to-trigger, 2 = rank-based.
+  int reselection_policy = 0;
+  int ttt_ms = 0;       // A3+TTT only
+  int l3_filter_k = 0;  // 3GPP L3 filter k; 0 = no smoothing
   std::vector<FuzzFault> faults;
   /// TEST HOOK passthrough: re-introduce the broker's report double-count
   /// bug (Brokerd::Config::test_skip_report_dedup) so the checker's

@@ -1,6 +1,7 @@
 #include "scenario/world.hpp"
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace cb::scenario {
 
@@ -28,6 +29,11 @@ World::World(WorldConfig config) : config_(config), sim_(config.seed), network_(
   // SAP rather than serve resumes the settlement log would never see.
   if (protocol_ == AttachProtocol::SapResume && config_.broker_shards > 1) {
     protocol_ = AttachProtocol::Sap;
+    resume_degraded_ = true;
+    obs::inc(obs::counter("world.sap_resume_degraded"));
+    CB_LOG(Warn, "world") << "sap_resume degraded to sap: sharded broker ("
+                          << config_.broker_shards
+                          << " shards) has no ResumeNotify";
   }
   build_topology();
   if (config_.arch == Architecture::Mno) {
@@ -89,8 +95,10 @@ void World::build_topology() {
 
   // The UE starts at the first tower and drives the full line.
   const double route_len = spacing * (config_.n_towers - 1);
+  ran::UeRadioConfig radio_cfg = config_.radio_config;
+  if (radio_cfg.channel.seed == 0) radio_cfg.channel.seed = config_.seed;
   radio_ = std::make_unique<ran::UeRadio>(
-      sim_, env_, ran::Trajectory::line(route_len, config_.route.speed_mps));
+      sim_, env_, ran::Trajectory::line(route_len, config_.route.speed_mps), radio_cfg);
 
   ue_tcp_ = std::make_unique<transport::TcpStack>(*ue_);
   server_tcp_ = std::make_unique<transport::TcpStack>(*server_);

@@ -87,6 +87,11 @@ struct WorldConfig {
   double ue_underreport = 1.0;
   /// Billing report cadence at both the UE baseband and the bTelcos.
   Duration report_interval = Duration::s(10);
+  /// UE measurement pipeline: channel noise, L3 filtering, reselection
+  /// policy (ran::UeRadioConfig). Defaults are bit-identical to the
+  /// pre-measurement engine. `radio_config.channel.seed` 0 means "derive
+  /// from the world seed".
+  ran::UeRadioConfig radio_config{};
   /// Broker deployment size. 1 = the classic single Brokerd on the cloud
   /// host (default; bit-identical to the pre-sharding engine). >1 = a
   /// BrokerCluster of that many shards on dedicated hosts behind the cloud
@@ -135,6 +140,9 @@ class World {
   const WorldConfig& config() const { return config_; }
   /// The protocol actually built (Default/degraded cases resolved).
   AttachProtocol protocol() const { return protocol_; }
+  /// True when SapResume was requested but the sharded broker forced a
+  /// degrade to plain Sap (logged + counted; conformance matrix flags it).
+  bool resume_degraded() const { return resume_degraded_; }
 
   /// Handover statistics (MTTHO for Table 1).
   std::uint64_t handovers() const;
@@ -190,6 +198,7 @@ class World {
 
   WorldConfig config_;
   AttachProtocol protocol_ = AttachProtocol::Default;
+  bool resume_degraded_ = false;
   sim::Simulator sim_;
   net::Network network_;
 

@@ -17,6 +17,7 @@
 
 #include "cellbricks/ticket.hpp"
 #include "check/runner.hpp"
+#include "obs/metrics.hpp"
 #include "scenario/fuzz.hpp"
 #include "scenario/world.hpp"
 
@@ -236,12 +237,51 @@ TEST(ProtocolResolution, DefaultFollowsArchitectureAndOverridesWin) {
 }
 
 TEST(ProtocolResolution, ShardedBrokerDegradesResumeToSap) {
+  obs::Registry metrics;
+  obs::ScopedRegistry install(&metrics);
   WorldConfig cfg = small_world(AttachProtocol::SapResume, 5);
   cfg.broker_shards = 2;
   World world(cfg);
   EXPECT_EQ(world.protocol(), AttachProtocol::Sap);
   EXPECT_NE(world.broker_cluster(), nullptr);
   EXPECT_EQ(world.brokerd(), nullptr);
+  // The degrade is flagged and counted, never silent.
+  EXPECT_TRUE(world.resume_degraded());
+  const obs::Counter* degraded = metrics.find_counter("world.sap_resume_degraded");
+  ASSERT_NE(degraded, nullptr);
+  EXPECT_EQ(degraded->value(), 1u);
+
+  // A plain-SAP sharded world reports no degrade.
+  WorldConfig plain = small_world(AttachProtocol::Sap, 5);
+  plain.broker_shards = 2;
+  EXPECT_FALSE(World(plain).resume_degraded());
+  // Nor does a single-broker resume world.
+  EXPECT_FALSE(World(small_world(AttachProtocol::SapResume, 5)).resume_degraded());
+}
+
+// Regression: the degraded combination must still run a full scenario clean —
+// billing pairs on the sharded settlement path and every invariant holds.
+TEST(ProtocolResolution, DegradedResumeScenarioStillPairsBilling) {
+  scenario::FuzzScenario s;
+  s.seed = 20260808;
+  s.n_towers = 3;
+  s.speed_mps = 20.0;
+  s.tower_spacing_m = 700.0;
+  s.duration_s = 60.0;
+  s.report_interval_s = 5.0;
+  s.app = 1;
+  s.resume_ticket = true;  // requests SapResume...
+  s.broker_shards = 2;     // ...which the sharded broker degrades to Sap
+  const check::RunReport report = check::run_scenario(s, check::RunOptions{});
+  for (const auto& v : report.violations) {
+    ADD_FAILURE() << v.invariant << " @" << v.at.to_seconds() << "s: " << v.detail;
+  }
+  EXPECT_GT(report.pairs_compared, 0u) << "degraded world must still settle billing";
+  EXPECT_TRUE(report.ue_attached_at_end);
+  // The differential signature of the degrade: plain SAP issues one session
+  // per attach, so the drive's cell crossings mint fresh sessions — a live
+  // ticket path would have kept the original session across re-attaches.
+  EXPECT_GE(report.sessions_issued, 2u) << "resume tickets must not be honored when degraded";
 }
 
 TEST(ProtocolResolution, ToStringCoversTheAxis) {

@@ -129,6 +129,15 @@ void expect_same_scenario(const scenario::FuzzScenario& a, const scenario::FuzzS
   EXPECT_EQ(a.app, b.app);
   EXPECT_EQ(a.fluid_ues, b.fluid_ues);
   EXPECT_EQ(a.fluid_hybrid, b.fluid_hybrid);
+  EXPECT_EQ(a.broker_shards, b.broker_shards);
+  EXPECT_EQ(a.attach_protocol, b.attach_protocol);
+  EXPECT_EQ(a.resume_ticket, b.resume_ticket);
+  EXPECT_DOUBLE_EQ(a.shadow_sigma_db, b.shadow_sigma_db);
+  EXPECT_DOUBLE_EQ(a.decorrelation_m, b.decorrelation_m);
+  EXPECT_EQ(a.fast_fading, b.fast_fading);
+  EXPECT_EQ(a.reselection_policy, b.reselection_policy);
+  EXPECT_EQ(a.ttt_ms, b.ttt_ms);
+  EXPECT_EQ(a.l3_filter_k, b.l3_filter_k);
   EXPECT_EQ(a.plant_dedup_bug, b.plant_dedup_bug);
   ASSERT_EQ(a.faults.size(), b.faults.size());
   for (std::size_t i = 0; i < a.faults.size(); ++i) {
@@ -158,6 +167,23 @@ TEST(FuzzScenario, GeneratorIsDeterministicAndInRange) {
     EXPECT_LE(a.duration_s, 240.0);
     EXPECT_LE(a.faults.size(), 5u);
     EXPECT_FALSE(a.plant_dedup_bug) << "bug plant is opt-in, never sampled";
+    EXPECT_GE(a.shadow_sigma_db, 0.0);
+    EXPECT_LE(a.shadow_sigma_db, 8.0);
+    EXPECT_GE(a.decorrelation_m, 25.0);
+    EXPECT_LE(a.decorrelation_m, 110.0);
+    EXPECT_GE(a.reselection_policy, 0);
+    EXPECT_LE(a.reselection_policy, 2);
+    if (a.reselection_policy == 1) {
+      EXPECT_GE(a.ttt_ms, 160);
+      EXPECT_LE(a.ttt_ms, 640);
+    } else {
+      EXPECT_EQ(a.ttt_ms, 0);
+    }
+    EXPECT_TRUE(a.l3_filter_k == 0 || a.l3_filter_k == 4 || a.l3_filter_k == 8 ||
+                a.l3_filter_k == 12);
+    if (a.reselection_policy == 2 && a.shadow_sigma_db > 0.0) {
+      EXPECT_GE(a.l3_filter_k, 4) << "rank + noise must keep at least the k=4 filter";
+    }
     for (std::size_t i = 1; i < a.faults.size(); ++i) {
       EXPECT_LE(a.faults[i - 1].start_s, a.faults[i].start_s) << "fault list sorted";
     }
@@ -214,6 +240,33 @@ TEST(RunScenario, FluidPhaseRunsUnderInvariantsDeterministically) {
   const RunReport b = run_scenario(s);
   EXPECT_EQ(a.fingerprint(), b.fingerprint());
   EXPECT_EQ(a.traffic_fingerprint, b.traffic_fingerprint);
+}
+
+// Shrunk from a `cbfuzz --policy rank` corpus hit (seed 14): the noisy
+// channel keeps reselecting while a broker outage holds an attach in flight,
+// so a newer mobility event supersedes it via the generation bump. The
+// orphaned attempt's continuations never ran its fail path, leaving the
+// optimistically-raised bearer admin-up — two live bearers, tripping
+// session.single_bearer (break-before-make). Pinned after the UeAgent
+// learned to lower superseded targets (drop_superseded_bearer).
+TEST(RunScenario, SupersededInFlightAttachLowersItsBearer) {
+  scenario::FuzzScenario s;
+  s.seed = 14;
+  s.n_towers = 3;
+  s.night = true;
+  s.speed_mps = 5.9820339209199922;
+  s.tower_spacing_m = 495.64338493564043;
+  s.duration_s = 179.14909890072181;
+  s.app = 0;
+  s.shadow_sigma_db = 2.5834628882462205;
+  s.decorrelation_m = 40.42009950429955;
+  s.fast_fading = true;
+  s.faults.push_back({.kind = scenario::FuzzFault::Kind::BrokerOutage,
+                      .start_s = 122.47665220319375,
+                      .duration_s = 26.672446697528056});
+  const RunReport report = run_scenario(s);
+  EXPECT_TRUE(report.ok())
+      << report.violations.front().invariant << ": " << report.violations.front().detail;
 }
 
 // ---------------------------------------------------------------------------

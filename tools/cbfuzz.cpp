@@ -1,7 +1,7 @@
 // cbfuzz — scenario fuzzer for the CellBricks simulation checker.
 //
 //   cbfuzz --seeds N [--base B] [--threads T] [--cadence-s C]
-//          [--protocol eps_aka|5g_aka|sap|sap_resume]
+//          [--protocol eps_aka|5g_aka|sap|sap_resume] [--policy a3|ttt|rank]
 //          [--plant-dedup-bug] [--out FILE] [--no-shrink] [--verbose]
 //       Run the seed corpus [B, B+N) (each seed samples one random scenario
 //       via scenario::random_scenario) under the full invariant catalogue.
@@ -44,6 +44,7 @@ struct Args {
   bool shrink = true;
   bool verbose = false;
   std::string protocol;  // empty = let the sampler choose the attach protocol
+  std::string policy;    // empty = let the sampler choose the reselection policy
   std::string out = "cbfuzz_repro.json";
   std::string replay;  // non-empty: replay mode
 };
@@ -52,6 +53,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: cbfuzz --seeds N [--base B] [--threads T] [--cadence-s C]\n"
                "              [--protocol eps_aka|5g_aka|sap|sap_resume]\n"
+               "              [--policy a3|ttt|rank]\n"
                "              [--plant-dedup-bug] [--out FILE] [--no-shrink] [--verbose]\n"
                "       cbfuzz --seed S [...]\n"
                "       cbfuzz --replay FILE\n");
@@ -93,6 +95,14 @@ bool parse(int argc, char** argv, Args& out) {
       if (out.protocol != "eps_aka" && out.protocol != "5g_aka" && out.protocol != "sap" &&
           out.protocol != "sap_resume") {
         std::fprintf(stderr, "unknown protocol: %s\n", v);
+        return false;
+      }
+    } else if (flag == "--policy") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out.policy = v;
+      if (out.policy != "a3" && out.policy != "ttt" && out.policy != "rank") {
+        std::fprintf(stderr, "unknown policy: %s\n", v);
         return false;
       }
     } else if (flag == "--plant-dedup-bug") {
@@ -141,6 +151,21 @@ scenario::FuzzScenario scenario_for(const Args& args, std::uint64_t seed) {
   } else if (args.protocol == "sap_resume") {
     s.attach_protocol = 2;
     s.resume_ticket = true;
+  }
+  // --policy pins the reselection axis the same way (policy A/B sweeps).
+  // TTT gets a mid-range trigger when the sampler did not pick one.
+  if (args.policy == "a3") {
+    s.reselection_policy = 0;
+    s.ttt_ms = 0;
+  } else if (args.policy == "ttt") {
+    s.reselection_policy = 1;
+    if (s.ttt_ms == 0) s.ttt_ms = 480;
+  } else if (args.policy == "rank") {
+    s.reselection_policy = 2;
+    s.ttt_ms = 0;
+    // Same churn containment as the sampler: rank on a noisy channel needs
+    // at least the k=4 filter to keep the horizon tractable.
+    if (s.shadow_sigma_db > 0.0 && s.l3_filter_k < 4) s.l3_filter_k = 4;
   }
   return s;
 }

@@ -56,6 +56,22 @@ else
   echo "skipped (--skip-sanitized)"
 fi
 
+echo "=== RAN measurement-pipeline leg (ASan/UBSan, ctest -L ran) ==="
+# The ran-labeled tests (channel purity, L3-filter/policy properties, drive-
+# trace round-trips, fixture replays) re-run as their own leg so a
+# measurement-loop failure is named in CI output rather than buried in the
+# tier-1 wall. The neighbor-table swap-in-place refresh and the drive-sink
+# append path are pointer-heavy per-tick code — sanitizer territory.
+if [[ "${1:-}" != "--skip-sanitized" ]]; then
+  ctest --test-dir build-asan --output-on-failure -L ran || {
+    echo "RAN measurement-pipeline leg FAILED under ASan/UBSan"
+    exit 1
+  }
+  echo "ran leg ok"
+else
+  echo "skipped (--skip-sanitized)"
+fi
+
 echo "=== thread-sanitized drain check (TSan, fluid parallel phase) ==="
 # The bench's 1-vs-4-thread fingerprint gate is weak evidence against a data
 # race in the FillPool: a preemption-timing-dependent race (e.g. a lagging
@@ -122,7 +138,7 @@ echo "=== fuzz smoke (96-seed corpus + protocol-pinned sweeps, shrink-on-fail) =
 # can't. On violation cbfuzz exits nonzero after shrinking the failing
 # seed to a minimal repro — the artifact to attach to the bug report.
 run_fuzz() {
-  if ! "$1" --seeds "$2" ${3:+--protocol "$3"} --out fuzz_repro.json; then
+  if ! "$1" --seeds "$2" ${3:+--protocol "$3"} ${4:+--policy "$4"} --out fuzz_repro.json; then
     echo "fuzz smoke FAILED — minimal repro in fuzz_repro.json:"
     cat fuzz_repro.json
     exit 1
@@ -133,6 +149,13 @@ run_fuzz build/tools/cbfuzz 96
 # every protocol sees every fault class regardless of the sampler's mix.
 for proto in eps_aka 5g_aka sap_resume; do
   run_fuzz build/tools/cbfuzz 16 "$proto"
+done
+# Reselection-policy sweeps: the damped (ttt) and strawman (rank) policies
+# pinned across the corpus so the ran.* invariants (margin evidence, hold
+# times, change conservation) see both extremes under chaos, not just the
+# sampler's policy mix.
+for policy in ttt rank; do
+  run_fuzz build/tools/cbfuzz 16 "" "$policy"
 done
 [[ -x build-asan/tools/cbfuzz ]] && run_fuzz build-asan/tools/cbfuzz 8
 
@@ -145,7 +168,7 @@ scale = json.load(open("BENCH_scale.json"))
 for doc, keys in ((sap, ("bench", "mode", "baseline", "current", "speedup", "attach")),
                   (scale, ("bench", "mode", "baseline", "current", "speedup",
                            "instrumentation", "points", "scale_curve",
-                           "agreement", "thread_agreement", "metrics",
+                           "agreement", "thread_agreement", "mttho", "metrics",
                            "broker_shards"))):
     missing = [k for k in keys if k not in doc]
     assert not missing, f"{doc.get('bench')}: missing keys {missing}"
@@ -187,6 +210,18 @@ ta = scale["thread_agreement"]
 assert ta["pass"] and ta["fingerprint_match"] and ta["metrics_match"], \
     f"fluid thread-count determinism failed: {ta}"
 assert ta["threads"] > 1
+
+# Measured-MTTHO section (DESIGN.md §15): Table 1's handover cadence as a
+# measured output of the reselection loop, gated at ±20% of the calibration
+# target, with all three policy arms (a3 / a3_ttt / rank) populated.
+mt = scale["mttho"]
+for k in ("route", "expected_s", "measured_s", "policy", "handovers",
+          "arms", "pass"):
+    assert k in mt, f"mttho: missing key {k}"
+assert mt["pass"], f"mttho calibration gate failed: {mt}"
+assert 0.8 * mt["expected_s"] <= mt["measured_s"] <= 1.2 * mt["expected_s"]
+for arm in ("a3", "a3_ttt", "rank"):
+    assert mt["arms"][arm]["handovers"] >= 2, f"mttho arm {arm} degenerate"
 
 # Observability snapshot schema (DESIGN.md §9): the four sections, the SAP
 # latency histogram with its full summary tuple, the attach + report-
